@@ -1,0 +1,131 @@
+"""Ablation benchmarks (beyond the paper's tables).
+
+The paper's framework is parameterized; these ablations quantify the design
+choices DESIGN.md calls out:
+
+* **k sweep** — runtime effect of the expression-lock bound on the
+  benchmark where it matters most (hashtable-2-high);
+* **effects on/off** — the value of the Σ_ε read/write component on a
+  read-heavy workload (rbtree-low): without it every lock is exclusive and
+  concurrent readers serialize;
+* **analysis cost vs k** — dataflow time growth across k on the biggest
+  micro program (TH).
+"""
+
+import pytest
+
+from conftest import emit_report
+from repro.bench import ALL_BENCHMARKS
+from repro.bench.harness import run_seq
+from repro.inference import LockInference, transform_with_inference
+from repro.interp import ThreadExec, World
+from repro.sim import Scheduler
+
+_klines = []
+
+
+def _run_with_inference(spec, inference, setting, threads=8, n_ops=60):
+    program = transform_with_inference(inference)
+    world = World(program, pointsto=inference.pointsto, check=True)
+    run_seq(world, spec.setup)
+    scheduler = Scheduler(ncores=8)
+    for tid, ops in enumerate(spec.schedule(setting, threads, n_ops)):
+        scheduler.spawn(ThreadExec(world, tid, mode="locks").run_ops(ops))
+    return scheduler.run().ticks
+
+
+@pytest.mark.parametrize("k", [0, 1, 3, 6, 9])
+def test_ablation_k_sweep_hashtable2(benchmark, k):
+    benchmark.group = "ablation-k"
+    spec = ALL_BENCHMARKS["hashtable-2"]
+    inference = LockInference(spec.source, k=k).run()
+
+    def run():
+        return _run_with_inference(spec, inference, "high")
+
+    ticks = benchmark.pedantic(run, rounds=1, iterations=1)
+    counts = inference.lock_counts()
+    benchmark.extra_info["ticks"] = ticks
+    benchmark.extra_info["fine"] = counts.fine_ro + counts.fine_rw
+    _klines.append((k, ticks, counts.fine_ro + counts.fine_rw,
+                    counts.coarse_ro + counts.coarse_rw))
+    if len(_klines) == 5:
+        _klines.sort()
+        text = "\n".join(
+            f"k={k}: ticks={t}  fine locks={f}  coarse locks={c}"
+            for k, t, f, c in _klines
+        )
+        emit_report("ablation_k", "Ablation: k sweep on hashtable-2-high", text)
+
+
+def test_ablation_effects_rbtree_low(benchmark):
+    benchmark.group = "ablation-effects"
+    spec = ALL_BENCHMARKS["rbtree"]
+    with_eff = LockInference(spec.source, k=9, use_effects=True).run()
+    without_eff = LockInference(spec.source, k=9, use_effects=False).run()
+
+    def run_both():
+        return (
+            _run_with_inference(spec, with_eff, "low"),
+            _run_with_inference(spec, without_eff, "low"),
+        )
+
+    ticks_eff, ticks_noeff = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    benchmark.extra_info["with_effects"] = ticks_eff
+    benchmark.extra_info["without_effects"] = ticks_noeff
+    # read/write modes are where rbtree-low's 2x comes from
+    assert ticks_eff < ticks_noeff
+    emit_report(
+        "ablation_effects",
+        "Ablation: read/write effects on rbtree-low (8 threads)",
+        f"with effects (S/X modes): {ticks_eff} ticks\n"
+        f"without effects (all X):  {ticks_noeff} ticks",
+    )
+
+
+def test_ablation_analysis_cost_vs_k(benchmark):
+    benchmark.group = "ablation-analysis-cost"
+    spec = ALL_BENCHMARKS["TH"]
+
+    def sweep():
+        return {
+            k: LockInference(spec.source, k=k).run().dataflow_time
+            for k in (0, 3, 6, 9)
+        }
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for k, t in times.items():
+        benchmark.extra_info[f"k{k}"] = t
+    assert times[0] <= times[9] * 1.5 + 0.5  # k=0 does no expression tracing
+    emit_report(
+        "ablation_analysis_cost",
+        "Ablation: dataflow analysis time vs k (TH)",
+        "\n".join(f"k={k}: {t:.4f}s" for k, t in sorted(times.items())),
+    )
+
+
+def test_ablation_alias_analysis(benchmark):
+    """Steensgaard vs Andersen mayAlias: the inclusion analysis removes
+    spurious may-alias alternatives during store transfers, which can only
+    shrink (or keep) the inferred lock sets."""
+    benchmark.group = "ablation-alias"
+    sources = {name: spec.source for name, spec in ALL_BENCHMARKS.items()}
+
+    def run_both():
+        out = {}
+        for alias in ("steensgaard", "andersen"):
+            total = 0
+            for source in sources.values():
+                result = LockInference(source, k=9, alias=alias).run()
+                total += result.lock_counts().total
+            out[alias] = total
+        return out
+
+    totals = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    benchmark.extra_info.update(totals)
+    assert totals["andersen"] <= totals["steensgaard"]
+    emit_report(
+        "ablation_alias",
+        "Ablation: total inferred locks by alias analysis (all programs, k=9)",
+        "\n".join(f"{alias}: {n} locks" for alias, n in totals.items()),
+    )

@@ -1,0 +1,63 @@
+"""Figure 8 — scalability with 1, 2, 4, and 8 threads.
+
+The paper plots execution time for rbtree, hashtable-2, TH, genome, and
+kmeans as the thread count grows. Reproduced shapes: the lock
+configurations and TL2 scale on the low-contention micros; coarse locks
+flatten where sections serialize (rbtree-high); TH-high is where
+multi-grain locks keep scaling while TL2 degrades past 4 threads.
+"""
+
+import pytest
+
+from conftest import emit_report
+from repro.bench import ALL_BENCHMARKS, CONFIGS, run_benchmark
+from repro.bench.reporting import figure8
+
+N_OPS = 60
+THREADS = (1, 2, 4, 8)
+BENCHES = (
+    ("rbtree", "low"),
+    ("rbtree", "high"),
+    ("hashtable-2", "low"),
+    ("hashtable-2", "high"),
+    ("TH", "low"),
+    ("TH", "high"),
+    ("genome", None),
+    ("kmeans", None),
+)
+
+_series = {}
+
+
+@pytest.mark.parametrize(
+    "name,setting", BENCHES,
+    ids=[f"{n}-{s}" if s else n for n, s in BENCHES],
+)
+def test_figure8_series(benchmark, name, setting):
+    benchmark.group = "figure8"
+    spec = ALL_BENCHMARKS[name]
+
+    def run_series():
+        return {
+            config: {
+                threads: run_benchmark(
+                    spec, config, threads=threads, setting=setting,
+                    n_ops=N_OPS,
+                ).ticks
+                for threads in THREADS
+            }
+            for config in CONFIGS
+        }
+
+    data = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    label = f"{name}-{setting}" if setting else name
+    for config, per_thread in data.items():
+        benchmark.extra_info[config] = per_thread
+    _series[label] = data
+    if len(_series) == len(BENCHES):
+        emit_report(
+            "figure8",
+            f"Figure 8: scalability (ticks) across {THREADS} threads, "
+            f"{N_OPS} ops/thread",
+            figure8(_series),
+        )

@@ -1,0 +1,55 @@
+"""Table 1 — program size and analysis time (k=0 vs k=9).
+
+The paper analyzes SPECint2000 programs (main wrapped in one atomic
+section), the STAMP benchmarks, and the micro-benchmarks, reporting the
+whole-program analysis time at k=0 (≈ pointer-analysis time, no dataflow)
+and k=9. We regenerate the same table over the same three program groups;
+the SPEC rows use the synthetic corpus at SPEC_SCALE × the paper's KLoC
+(see DESIGN.md substitutions — absolute sizes are scaled, ordering and the
+k=0 ≪ k=9 growth pattern are the reproduced shape).
+"""
+
+import pytest
+
+from conftest import emit_report
+from repro.bench import ALL_BENCHMARKS
+from repro.bench.programs.spec import spec_sources
+from repro.bench.reporting import table1, table1_row
+from repro.inference import LockInference
+
+SPEC_SCALE = 0.05  # fraction of the paper's KLoC for the synthetic corpus
+
+_rows = []
+
+
+def _sources():
+    sources = dict(spec_sources(scale=SPEC_SCALE))
+    for name, spec in ALL_BENCHMARKS.items():
+        sources[name] = spec.source
+    return sources
+
+
+@pytest.mark.parametrize("name,source", sorted(_sources().items()))
+def test_table1_analysis_time(benchmark, name, source):
+    benchmark.group = "table1-analysis"
+    benchmark.name = name
+
+    def analyze():
+        return LockInference(source, k=9).run()
+
+    result = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    row = table1_row(name, source)
+    benchmark.extra_info["kloc"] = row.kloc
+    benchmark.extra_info["sections"] = row.sections
+    benchmark.extra_info["time_k0"] = row.time_k0
+    benchmark.extra_info["time_k9"] = row.time_k9
+    assert result.sections
+    _rows.append(row)
+    if len(_rows) == len(_sources()):
+        _rows.sort(key=lambda r: -r.kloc)
+        emit_report(
+            "table1",
+            f"Table 1: program size and analysis time "
+            f"(SPEC corpus at {SPEC_SCALE}x paper KLoC)",
+            table1(_rows),
+        )

@@ -1,0 +1,57 @@
+"""Table 2 — execution times with 8 threads.
+
+For every concurrent benchmark (STAMP stand-ins; micro-benchmarks under the
+low and high settings) we run the four configurations of the paper —
+Global, Coarse (k=0), Fine+Coarse (k=9), and the TL2 STM — on the simulated
+8-core machine and report makespans in ticks.
+
+Reproduced shapes (paper Table 2): STM catastrophic on vacation, worst on
+genome/kmeans/bayes/hashtable-high, best on labyrinth and the low-contention
+micros; read-only coarse locks ≈ 2x global on the `low` micros; fine locks
+≈ 2x coarse on hashtable-2-high; coarse ≈ global on the STAMP programs.
+"""
+
+import pytest
+
+from conftest import emit_report
+from repro.bench import ALL_BENCHMARKS, CONFIGS, run_benchmark
+from repro.bench.reporting import table2
+
+N_OPS = 120
+_rows = []
+_cells = [
+    (spec, setting)
+    for spec in ALL_BENCHMARKS.values()
+    for setting in spec.settings
+]
+
+
+@pytest.mark.parametrize(
+    "spec,setting",
+    _cells,
+    ids=[f"{s.name}-{st}" if st else s.name for s, st in _cells],
+)
+def test_table2_row(benchmark, spec, setting):
+    benchmark.group = "table2"
+
+    def run_row():
+        return {
+            config: run_benchmark(
+                spec, config, threads=8, setting=setting, n_ops=N_OPS
+            )
+            for config in CONFIGS
+        }
+
+    results = benchmark.pedantic(run_row, rounds=1, iterations=1)
+    label = f"{spec.name}-{setting}" if setting else spec.name
+    for config, result in results.items():
+        benchmark.extra_info[config] = result.ticks
+    benchmark.extra_info["stm_aborts"] = results["stm"].stm_aborts
+    _rows.append((label, results))
+    if len(_rows) == len(_cells):
+        emit_report(
+            "table2",
+            f"Table 2: execution times (simulated ticks), 8 threads, "
+            f"{N_OPS} ops/thread",
+            table2(_rows),
+        )

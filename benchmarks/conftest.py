@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each benchmark regenerates one of the paper's tables/figures. The rendered
+report is written to ``benchmarks/results/<name>.txt`` and replayed in the
+terminal summary after the pytest-benchmark tables (pytest's fd-level
+capture would otherwise swallow mid-test prints), so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records the
+actual tables, not just timings.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_REPORTS = []
+
+
+def emit_report(name: str, title: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    _REPORTS.append((title, text))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.ensure_newline()
+    for title, text in _REPORTS:
+        terminalreporter.section(title, sep="=")
+        terminalreporter.write_line(text)

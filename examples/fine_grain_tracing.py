@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The paper's Figure 2: backward tracing of fine-grain locks.
+
+The access ``*z = 0`` happens through a pointer defined *inside* the atomic
+section; the analysis traces it backward to expressions available at the
+section entry. Because ``x`` may alias ``y`` (the branch before the
+section), the written location must be protected by *both* ``y->data``'s
+target and ``w``'s target — exactly the {y->data, w} set the paper derives.
+"""
+
+from repro import infer_locks
+from repro.lang import lower_program, parse_program, print_lowered_program
+
+SOURCE = """
+struct obj { int* data; }
+
+void fig2(obj* y, int* w, int c) {
+  obj* x;
+  x = null;
+  if (c == 0) { x = y; }
+  atomic {
+    x->data = w;
+    int* z = y->data;
+    *z = 0;
+  }
+}
+
+void main() { obj* o = new obj; fig2(o, new int, 0); }
+"""
+
+
+def main() -> None:
+    print("== Lowered program (the simple forms the transfer functions see) ==")
+    print(print_lowered_program(lower_program(parse_program(SOURCE))))
+
+    print("\n== Inferred locks at the section entry ==")
+    result = infer_locks(SOURCE, k=9)
+    section = result.locks_for("fig2#1")
+    for lock in sorted(section.locks, key=str):
+        print(f"  {lock}")
+
+    print(
+        "\nReading the result: *(( *ȳ + .data)) is the paper's `y->data`\n"
+        "lock and *w̄ is the paper's `w` lock — together they cover the\n"
+        "*z access on both the aliased and non-aliased paths. The other\n"
+        "locks protect the x->data store and the y->data read themselves."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Pre-compiled library support (paper §4.3).
+
+The compiler normally needs whole-program source. For external (library)
+functions, the paper proposes *function specifications* — effects per
+parameter plus a result description — letting the analysis protect what the
+callee touches and decide whether fine-grain lock expressions survive the
+call. Without a spec, an unknown callee forces the global ⊤ lock.
+"""
+
+from repro import infer_locks
+from repro.inference import ExternalSpec, SpecLibrary
+
+SOURCE = """
+struct buf { buf* next; int len; }
+buf* POOL;
+
+void produce() {
+  atomic {
+    buf* b = lib_alloc_buffer();
+    b->len = 64;
+    b->next = POOL;
+    POOL = b;
+  }
+}
+
+int inspect() {
+  int total = 0;
+  atomic {
+    lib_checksum(POOL);
+    buf* b = POOL;
+    while (b != null) { total = total + b->len; b = b->next; }
+  }
+  return total;
+}
+
+void scramble() {
+  atomic {
+    lib_shuffle(POOL);
+    buf* b = POOL;
+    b->len = 0;
+  }
+}
+
+void main() { produce(); int t = inspect(); scramble(); }
+"""
+
+SPECS = SpecLibrary([
+    # returns a freshly allocated object, touches nothing shared
+    ExternalSpec("lib_alloc_buffer", returns="fresh"),
+    # reads everything reachable from its argument
+    ExternalSpec("lib_checksum", param_effects=("ro",), returns="unknown"),
+    # may rewrite the whole structure reachable from its argument
+    ExternalSpec("lib_shuffle", param_effects=("rw",), returns="unknown"),
+])
+
+
+def main() -> None:
+    print("== Without specifications: every unknown call forces the global "
+          "lock ==")
+    print(infer_locks(SOURCE, k=9).describe())
+
+    print("\n== With specifications ==")
+    print(infer_locks(SOURCE, k=9, specs=SPECS).describe())
+
+    print(
+        "\nWhat changed:\n"
+        " * produce(): lib_alloc_buffer is declared `fresh`, so writes to\n"
+        "   the new buffer need no lock — only the POOL publish remains;\n"
+        " * inspect(): lib_checksum is read-only, so the section keeps\n"
+        "   read-mode coarse locks and can run concurrently with other\n"
+        "   readers;\n"
+        " * scramble(): lib_shuffle may rewrite the pool, so the fine-grain\n"
+        "   expression for b->len is (correctly) widened to the buffer\n"
+        "   class's coarse write lock — but never to the global lock."
+    )
+
+
+if __name__ == "__main__":
+    main()

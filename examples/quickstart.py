@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 1 end to end.
+
+Takes the `move` function with an atomic section, infers locks at several
+granularity bounds k, prints the transformed program, and then runs the
+classic deadlock scenario — move(l1, l2) in parallel with move(l2, l1) —
+under the inferred multi-granularity locks, with the soundness checker and
+serializability auditor enabled.
+"""
+
+from repro import (
+    ThreadExec,
+    Scheduler,
+    infer_locks,
+    transform_with_inference,
+)
+from repro.bench.harness import run_seq
+from repro.interp import World
+from repro.lang import print_lowered_program
+
+SOURCE = """
+struct elem { elem* next; int* data; }
+struct list { elem* head; }
+
+list* mklist(int n) {
+  list* l = new list;
+  int i = 0;
+  while (i < n) {
+    elem* e = new elem;
+    e->next = l->head;
+    l->head = e;
+    i = i + 1;
+  }
+  return l;
+}
+
+void move(list* from, list* to) {
+  atomic {
+    elem* x = to->head;
+    elem* y = from->head;
+    from->head = null;
+    if (x == null) {
+      to->head = y;
+    } else {
+      while (x->next != null) { x = x->next; }
+      x->next = y;
+    }
+  }
+}
+
+int length(list* l) {
+  int n = 0;
+  elem* e = l->head;
+  while (e != null) { n = n + 1; e = e->next; }
+  return n;
+}
+
+void main() {
+  list* a = mklist(5);
+  list* b = mklist(3);
+  move(a, b);
+  int n = length(a);
+}
+"""
+
+
+def main() -> None:
+    print("== Inferred locks per k (paper Figure 1c uses k=3) ==")
+    for k in (0, 3, 9):
+        result = infer_locks(SOURCE, k=k)
+        print(f"\n-- k={k} --")
+        print(result.describe())
+
+    result = infer_locks(SOURCE, k=9)
+    transformed = transform_with_inference(result)
+    print("\n== Transformed program (acquireAll / releaseAll) ==")
+    print(print_lowered_program(transformed))
+
+    print("\n== Running move(l1,l2) || move(l2,l1): the Figure 1(b) deadlock"
+          " scenario ==")
+    world = World(transformed, pointsto=result.pointsto, check=True, audit=True)
+    l1 = run_seq(world, "mklist", (5,))
+    l2 = run_seq(world, "mklist", (3,))
+    scheduler = Scheduler(ncores=8)
+    scheduler.spawn(ThreadExec(world, 0, mode="locks").call("move", [l1, l2]))
+    scheduler.spawn(ThreadExec(world, 1, mode="locks").call("move", [l2, l1]))
+    stats = scheduler.run()  # DeadlockError would be raised here
+    world.auditor.assert_serializable()
+    print(f"completed in {stats.ticks} simulated ticks — no deadlock")
+    print(f"final lengths: l1={run_seq(world, 'length', (l1,))}, "
+          f"l2={run_seq(world, 'length', (l2,))} (total preserved: 8)")
+    print(f"protection checker validated {world.checker.checked} shared "
+          f"accesses; execution is conflict-serializable")
+
+
+if __name__ == "__main__":
+    main()

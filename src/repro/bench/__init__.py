@@ -1,0 +1,25 @@
+"""Benchmark programs, workloads, configurations, and harness (paper §6)."""
+
+from .configs import (
+    ALL_BENCHMARKS,
+    CONFIGS,
+    CONFIG_K,
+    MICRO_BENCHMARKS,
+    STAMP_BENCHMARKS,
+    BenchSpec,
+)
+from .harness import RunResult, build_world, run_benchmark, run_config_sweep, run_seq
+
+__all__ = [
+    "BenchSpec",
+    "ALL_BENCHMARKS",
+    "MICRO_BENCHMARKS",
+    "STAMP_BENCHMARKS",
+    "CONFIGS",
+    "CONFIG_K",
+    "RunResult",
+    "run_benchmark",
+    "run_config_sweep",
+    "build_world",
+    "run_seq",
+]

@@ -1,0 +1,149 @@
+"""End-to-end benchmark harness: parse → infer → transform → simulate.
+
+``run_benchmark`` executes one (benchmark, configuration, threads) cell of
+Table 2 / Figure 8: it analyzes the program at the configuration's k, builds
+the corresponding executable (transformed for lock configurations, original
+for STM), runs the setup phase sequentially, then simulates the workload
+threads on an ``ncores``-core machine, with the §4.2 protection checker
+enabled throughout lock runs.
+
+Inference results are cached per (source, k), so sweeping configurations and
+thread counts re-analyzes nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..inference import (
+    InferenceResult,
+    LockInference,
+    transform_global,
+    transform_with_inference,
+)
+from ..interp import ProtectionError, ThreadExec, World
+from ..lang import ir
+from ..sim import Scheduler
+from .configs import CONFIG_K, BenchSpec
+
+Op = Tuple[str, Tuple[int, ...]]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated benchmark run."""
+
+    bench: str
+    config: str
+    setting: Optional[str]
+    threads: int
+    ticks: int
+    work: int
+    blocked_ticks: int
+    stm_commits: int = 0
+    stm_aborts: int = 0
+    lock_acquires: int = 0
+    checked_accesses: int = 0
+
+    @property
+    def label(self) -> str:
+        suffix = f"-{self.setting}" if self.setting else ""
+        return f"{self.bench}{suffix}"
+
+
+class _InferenceCache:
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[int, int], InferenceResult] = {}
+
+    def get(self, source: str, k: int) -> InferenceResult:
+        key = (hash(source), k)
+        if key not in self._cache:
+            self._cache[key] = LockInference(source, k=k).run()
+        return self._cache[key]
+
+
+_CACHE = _InferenceCache()
+
+
+def run_seq(world: World, func: str, args: Sequence[int] = ()) -> object:
+    """Drive one call to completion in sequential mode (setup phases)."""
+    gen = ThreadExec(world, tid=10_000, mode="seq").call(func, list(args))
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+def build_world(
+    spec: BenchSpec, config: str, check: bool = True, audit: bool = False
+) -> Tuple[World, str]:
+    """Prepare a world for *config*; returns (world, interpreter mode)."""
+    k = CONFIG_K.get(config, 9)
+    inference = _CACHE.get(spec.source, k)
+    if config == "stm":
+        program: ir.LoweredProgram = inference.program
+        mode = "stm"
+    elif config == "global":
+        program = transform_global(inference.program)
+        mode = "locks"
+    else:
+        program = transform_with_inference(inference)
+        mode = "locks"
+    world = World(program, pointsto=inference.pointsto, check=check, audit=audit)
+    run_seq(world, spec.setup)
+    return world, mode
+
+
+def run_benchmark(
+    spec: BenchSpec,
+    config: str,
+    threads: int = 8,
+    setting: Optional[str] = None,
+    n_ops: Optional[int] = None,
+    ncores: int = 8,
+    check: bool = True,
+    audit: bool = False,
+    seed: int = 1234,
+) -> RunResult:
+    n_ops = n_ops if n_ops is not None else spec.default_ops
+    world, mode = build_world(spec, config, check=check, audit=audit)
+    schedules = spec.schedule(setting, threads, n_ops, seed=seed)
+    scheduler = Scheduler(ncores=ncores)
+    for tid, ops in enumerate(schedules):
+        scheduler.spawn(ThreadExec(world, tid, mode=mode).run_ops(ops))
+    stats = scheduler.run()
+    if audit and world.auditor is not None:
+        world.auditor.assert_serializable()
+    return RunResult(
+        bench=spec.name,
+        config=config,
+        setting=setting,
+        threads=threads,
+        ticks=stats.ticks,
+        work=stats.work_done,
+        blocked_ticks=stats.blocked_ticks,
+        stm_commits=world.stm.stats.commits,
+        stm_aborts=world.stm.stats.aborts,
+        lock_acquires=world.lock_manager.stats.acquires,
+        checked_accesses=world.checker.checked if world.checker else 0,
+    )
+
+
+def run_config_sweep(
+    spec: BenchSpec,
+    configs: Sequence[str],
+    threads: int = 8,
+    setting: Optional[str] = None,
+    n_ops: Optional[int] = None,
+    ncores: int = 8,
+    check: bool = True,
+) -> Dict[str, RunResult]:
+    return {
+        config: run_benchmark(
+            spec, config, threads=threads, setting=setting, n_ops=n_ops,
+            ncores=ncores, check=check,
+        )
+        for config in configs
+    }

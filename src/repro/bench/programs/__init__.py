@@ -1,0 +1,5 @@
+"""Mini-C benchmark program sources."""
+
+from . import micro, spec, stamp
+
+__all__ = ["micro", "stamp", "spec"]

@@ -1,0 +1,477 @@
+"""Micro-benchmark programs (paper §6.1, bottom of Table 1).
+
+Mini-C sources for the five data-structure micro-benchmarks:
+
+* ``list``        — sorted linked list set (STAMP-distributed version);
+* ``hashtable``   — chaining hash table whose ``put`` may resize + rehash
+                    (so a put can touch the entire table);
+* ``hashtable2``  — fixed-size table, ``put`` prepends at the bucket head —
+                    a *single* shared write whose cell the analysis can name
+                    with a k-limited expression (the paper's fine-grain
+                    showcase);
+* ``rbtree``      — binary search tree (red-black shape; rotations omitted —
+                    see DESIGN.md substitutions): reads traverse, writes
+                    touch an unbounded path;
+* ``th``          — the paper's TH: one rbtree + one hashtable, operations
+                    randomly directed at one of the two disjoint structures.
+
+Each program defines ``setup()`` plus integer-argument operations, and a
+``main()`` that wires the whole call graph for the whole-program pointer
+analysis (the paper analyzes whole programs; the harness drives the same
+functions).
+
+Every atomic section carries a small ``nop`` pad, mirroring the paper's
+harness ("additional nop instructions to make the program spend more time
+inside the atomic sections").
+"""
+
+from __future__ import annotations
+
+LIST_SRC = """
+struct lnode { lnode* next; int key; }
+struct lset { lnode* head; }
+lset* L;
+
+void setup() {
+  L = new lset;
+  lnode* h = new lnode;
+  h->key = 0 - 1;
+  L->head = h;
+}
+
+int list_contains(int k) {
+  int found = 0;
+  atomic {
+    lnode* n = L->head;
+    n = n->next;
+    while (n != null && n->key < k) { n = n->next; }
+    if (n != null && n->key == k) { found = 1; }
+    nop(4);
+  }
+  return found;
+}
+
+void list_insert(int k) {
+  atomic {
+    lnode* prev = L->head;
+    lnode* cur = prev->next;
+    while (cur != null && cur->key < k) { prev = cur; cur = cur->next; }
+    if (cur == null || cur->key != k) {
+      lnode* n = new lnode;
+      n->key = k;
+      n->next = cur;
+      prev->next = n;
+    }
+    nop(4);
+  }
+}
+
+void list_remove(int k) {
+  atomic {
+    lnode* prev = L->head;
+    lnode* cur = prev->next;
+    while (cur != null && cur->key < k) { prev = cur; cur = cur->next; }
+    if (cur != null && cur->key == k) {
+      prev->next = cur->next;
+    }
+    nop(4);
+  }
+}
+
+void main() {
+  setup();
+  list_insert(1);
+  int f = list_contains(1);
+  list_remove(1);
+}
+"""
+
+
+HASHTABLE_SRC = """
+struct hentry { hentry* next; int key; int val; }
+struct htable { hentry** buckets; int nbuckets; int size; }
+htable* H;
+
+void setup() {
+  H = new htable;
+  H->nbuckets = 16;
+  H->buckets = new hentry*[16];
+  H->size = 0;
+}
+
+int ht_get(int k) {
+  int result = 0 - 1;
+  atomic {
+    int h = k % H->nbuckets;
+    hentry* e = H->buckets[h];
+    while (e != null && e->key != k) { e = e->next; }
+    if (e != null) { result = e->val; }
+    nop(4);
+  }
+  return result;
+}
+
+void ht_rehash() {
+  int newn = H->nbuckets * 2;
+  hentry** nb = new hentry*[newn];
+  int i = 0;
+  while (i < H->nbuckets) {
+    hentry* e = H->buckets[i];
+    while (e != null) {
+      hentry* nx = e->next;
+      int h = e->key % newn;
+      e->next = nb[h];
+      nb[h] = e;
+      e = nx;
+    }
+    i = i + 1;
+  }
+  H->buckets = nb;
+  H->nbuckets = newn;
+}
+
+void ht_put(int k, int v) {
+  atomic {
+    int h = k % H->nbuckets;
+    hentry* e = H->buckets[h];
+    while (e != null && e->key != k) { e = e->next; }
+    if (e != null) {
+      e->val = v;
+    } else {
+      hentry* n = new hentry;
+      n->key = k;
+      n->val = v;
+      hentry* cur = H->buckets[h];
+      if (cur == null) {
+        H->buckets[h] = n;
+      } else {
+        while (cur->next != null) { cur = cur->next; }
+        cur->next = n;
+      }
+      H->size = H->size + 1;
+      if (H->size > H->nbuckets + H->nbuckets) {
+        ht_rehash();
+      }
+    }
+    nop(4);
+  }
+}
+
+void ht_remove(int k) {
+  atomic {
+    int h = k % H->nbuckets;
+    hentry* prev = null;
+    hentry* e = H->buckets[h];
+    while (e != null && e->key != k) { prev = e; e = e->next; }
+    if (e != null) {
+      if (prev == null) {
+        H->buckets[h] = e->next;
+      } else {
+        prev->next = e->next;
+      }
+      H->size = H->size - 1;
+    }
+    nop(4);
+  }
+}
+
+void main() {
+  setup();
+  ht_put(1, 10);
+  int v = ht_get(1);
+  ht_remove(1);
+}
+"""
+
+
+HASHTABLE2_SRC = """
+struct h2entry { h2entry* next; int key; int val; }
+h2entry** H2;
+
+void setup() {
+  H2 = new h2entry*[64];
+}
+
+int h2_get(int k) {
+  int result = 0 - 1;
+  atomic {
+    int h = k % 64;
+    h2entry* e = H2[h];
+    while (e != null && e->key != k) { e = e->next; }
+    if (e != null) { result = e->val; }
+    nop(4);
+  }
+  return result;
+}
+
+void h2_put(int k, int v) {
+  atomic {
+    h2entry* n = new h2entry;
+    n->key = k;
+    n->val = v;
+    int h = k % 64;
+    n->next = H2[h];
+    H2[h] = n;
+    nop(4);
+  }
+}
+
+void h2_remove(int k) {
+  atomic {
+    int h = k % 64;
+    h2entry* prev = null;
+    h2entry* e = H2[h];
+    while (e != null && e->key != k) { prev = e; e = e->next; }
+    if (e != null) {
+      if (prev == null) {
+        H2[h] = e->next;
+      } else {
+        prev->next = e->next;
+      }
+    }
+    nop(4);
+  }
+}
+
+void main() {
+  setup();
+  h2_put(1, 10);
+  int v = h2_get(1);
+  h2_remove(1);
+}
+"""
+
+
+RBTREE_SRC = """
+struct tnode { tnode* left; tnode* right; int key; int val; }
+struct rbtree { tnode* root; }
+rbtree* RB;
+
+void setup() {
+  RB = new rbtree;
+}
+
+int rb_get(int k) {
+  int result = 0 - 1;
+  atomic {
+    tnode* n = RB->root;
+    while (n != null && n->key != k) {
+      if (k < n->key) { n = n->left; } else { n = n->right; }
+    }
+    if (n != null) { result = n->val; }
+    nop(4);
+  }
+  return result;
+}
+
+void rb_put(int k, int v) {
+  atomic {
+    tnode* parent = null;
+    tnode* n = RB->root;
+    while (n != null && n->key != k) {
+      parent = n;
+      if (k < n->key) { n = n->left; } else { n = n->right; }
+    }
+    if (n != null) {
+      n->val = v;
+    } else {
+      tnode* fresh = new tnode;
+      fresh->key = k;
+      fresh->val = v;
+      if (parent == null) {
+        RB->root = fresh;
+      } else {
+        if (k < parent->key) { parent->left = fresh; }
+        else { parent->right = fresh; }
+      }
+    }
+    nop(4);
+  }
+}
+
+void rb_remove(int k) {
+  atomic {
+    tnode* n = RB->root;
+    while (n != null && n->key != k) {
+      if (k < n->key) { n = n->left; } else { n = n->right; }
+    }
+    if (n != null) {
+      n->val = 0 - 1;
+    }
+    nop(4);
+  }
+}
+
+void main() {
+  setup();
+  rb_put(1, 10);
+  int v = rb_get(1);
+  rb_remove(1);
+}
+"""
+
+
+# TH combines the rbtree and the (resizing) hashtable; each operation picks
+# one of the two structures (the harness passes sel = 0 or 1).
+TH_SRC = """
+struct tnode { tnode* left; tnode* right; int key; int val; }
+struct rbtree { tnode* root; }
+struct hentry { hentry* next; int key; int val; }
+struct htable { hentry** buckets; int nbuckets; int size; }
+rbtree* RB;
+htable* H;
+
+void setup() {
+  RB = new rbtree;
+  H = new htable;
+  H->nbuckets = 16;
+  H->buckets = new hentry*[16];
+  H->size = 0;
+}
+
+int rb_get(int k) {
+  int result = 0 - 1;
+  atomic {
+    tnode* n = RB->root;
+    while (n != null && n->key != k) {
+      if (k < n->key) { n = n->left; } else { n = n->right; }
+    }
+    if (n != null) { result = n->val; }
+    nop(4);
+  }
+  return result;
+}
+
+void rb_put(int k, int v) {
+  atomic {
+    tnode* parent = null;
+    tnode* n = RB->root;
+    while (n != null && n->key != k) {
+      parent = n;
+      if (k < n->key) { n = n->left; } else { n = n->right; }
+    }
+    if (n != null) {
+      n->val = v;
+    } else {
+      tnode* fresh = new tnode;
+      fresh->key = k;
+      fresh->val = v;
+      if (parent == null) {
+        RB->root = fresh;
+      } else {
+        if (k < parent->key) { parent->left = fresh; }
+        else { parent->right = fresh; }
+      }
+    }
+    nop(4);
+  }
+}
+
+void rb_remove(int k) {
+  atomic {
+    tnode* n = RB->root;
+    while (n != null && n->key != k) {
+      if (k < n->key) { n = n->left; } else { n = n->right; }
+    }
+    if (n != null) { n->val = 0 - 1; }
+    nop(4);
+  }
+}
+
+void ht_rehash() {
+  int newn = H->nbuckets * 2;
+  hentry** nb = new hentry*[newn];
+  int i = 0;
+  while (i < H->nbuckets) {
+    hentry* e = H->buckets[i];
+    while (e != null) {
+      hentry* nx = e->next;
+      int h = e->key % newn;
+      e->next = nb[h];
+      nb[h] = e;
+      e = nx;
+    }
+    i = i + 1;
+  }
+  H->buckets = nb;
+  H->nbuckets = newn;
+}
+
+int ht_get(int k) {
+  int result = 0 - 1;
+  atomic {
+    int h = k % H->nbuckets;
+    hentry* e = H->buckets[h];
+    while (e != null && e->key != k) { e = e->next; }
+    if (e != null) { result = e->val; }
+    nop(4);
+  }
+  return result;
+}
+
+void ht_put(int k, int v) {
+  atomic {
+    int h = k % H->nbuckets;
+    hentry* e = H->buckets[h];
+    while (e != null && e->key != k) { e = e->next; }
+    if (e != null) {
+      e->val = v;
+    } else {
+      hentry* n = new hentry;
+      n->key = k;
+      n->val = v;
+      hentry* cur = H->buckets[h];
+      if (cur == null) {
+        H->buckets[h] = n;
+      } else {
+        while (cur->next != null) { cur = cur->next; }
+        cur->next = n;
+      }
+      H->size = H->size + 1;
+      if (H->size > H->nbuckets) {
+        ht_rehash();
+      }
+    }
+    nop(4);
+  }
+}
+
+void ht_remove(int k) {
+  atomic {
+    int h = k % H->nbuckets;
+    hentry* prev = null;
+    hentry* e = H->buckets[h];
+    while (e != null && e->key != k) { prev = e; e = e->next; }
+    if (e != null) {
+      if (prev == null) { H->buckets[h] = e->next; }
+      else { prev->next = e->next; }
+      H->size = H->size - 1;
+    }
+    nop(4);
+  }
+}
+
+int th_get(int sel, int k) {
+  int r;
+  if (sel == 0) { r = ht_get(k); } else { r = rb_get(k); }
+  return r;
+}
+
+void th_put(int sel, int k, int v) {
+  if (sel == 0) { ht_put(k, v); } else { rb_put(k, v); }
+}
+
+void th_remove(int sel, int k) {
+  if (sel == 0) { ht_remove(k); } else { rb_remove(k); }
+}
+
+void main() {
+  setup();
+  th_put(0, 1, 10);
+  th_put(1, 2, 20);
+  int a = th_get(0, 1);
+  int b = th_get(1, 2);
+  th_remove(0, 1);
+  th_remove(1, 2);
+}
+"""

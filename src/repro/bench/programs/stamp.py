@@ -1,0 +1,379 @@
+"""STAMP benchmark stand-ins (paper §6.1, middle of Tables 1 and 2).
+
+Mini-C programs reproducing each STAMP application's *atomic-section access
+shape* — the property Table 2 and Figure 8 actually measure (see DESIGN.md
+substitutions):
+
+* **vacation** — travel reservation system: three relation tables plus a
+  customer list; each reservation transaction reads several entries across
+  tables and updates them *and* shared size counters. The always-conflicting
+  counters + long transactions produce TL2's abort storm (paper: 1,000
+  commits vs 1.7 million aborts).
+* **genome** — gene sequencing: segment deduplication into a shared hash
+  set plus construction of a result list; sections are short and
+  write-heavy on one structure, so coarse locks ≈ a global lock and both
+  beat the STM's per-access overhead.
+* **kmeans** — clustering: each section reads every cluster center and
+  updates the nearest one's accumulators; the shared read set makes STM
+  validation expensive and retries common.
+* **bayes** — structure learning: sections query a shared adjacency
+  structure and insert edges (medium contention, mixed read/write).
+* **labyrinth** — grid path routing: long sections read a private-ish
+  region of the grid and claim a path; different threads touch mostly
+  disjoint cells, so the STM scales while any coarse pessimistic lock
+  serializes the whole grid (the one benchmark where TL2 wins in the
+  paper).
+"""
+
+from __future__ import annotations
+
+VACATION_SRC = """
+struct resv { resv* next; int id; int total; int used; int price; }
+struct manager { resv* cars; resv* rooms; resv* flights; int ncommit; }
+manager* M;
+
+resv* find(resv* head, int id) {
+  resv* r = head;
+  while (r != null && r->id != id) { r = r->next; }
+  return r;
+}
+
+resv* addone(resv* head, int id) {
+  resv* r = new resv;
+  r->id = id;
+  r->total = 100;
+  r->used = 0;
+  r->price = 50 + id % 100;
+  r->next = head;
+  return r;
+}
+
+void setup() {
+  M = new manager;
+  int i = 0;
+  while (i < 16) {
+    M->cars = addone(M->cars, i);
+    M->rooms = addone(M->rooms, i);
+    M->flights = addone(M->flights, i);
+    i = i + 1;
+  }
+}
+
+int reserve(int car, int room, int flight) {
+  int ok = 0;
+  atomic {
+    resv* c = find(M->cars, car);
+    resv* r = find(M->rooms, room);
+    resv* f = find(M->flights, flight);
+    int price = 0;
+    if (c != null && c->used < c->total) { price = price + c->price; }
+    if (r != null && r->used < r->total) { price = price + r->price; }
+    if (f != null && f->used < f->total) { price = price + f->price; }
+    if (price > 0) {
+      if (c != null) { c->used = c->used + 1; }
+      if (r != null) { r->used = r->used + 1; }
+      if (f != null) { f->used = f->used + 1; }
+      M->ncommit = M->ncommit + 1;
+      ok = 1;
+    }
+    nop(8);
+  }
+  return ok;
+}
+
+int browse(int car, int room, int flight) {
+  int total = 0;
+  atomic {
+    resv* c = find(M->cars, car);
+    resv* r = find(M->rooms, room);
+    resv* f = find(M->flights, flight);
+    if (c != null) { total = total + c->price; }
+    if (r != null) { total = total + r->price; }
+    if (f != null) { total = total + f->price; }
+    nop(8);
+  }
+  return total;
+}
+
+int cancel(int car) {
+  int ok = 0;
+  atomic {
+    resv* c = find(M->cars, car);
+    if (c != null && c->used > 0) {
+      c->used = c->used - 1;
+      M->ncommit = M->ncommit + 1;
+      ok = 1;
+    }
+    nop(8);
+  }
+  return ok;
+}
+
+void main() {
+  setup();
+  int a = reserve(1, 2, 3);
+  int b = browse(1, 2, 3);
+  int c = cancel(1);
+}
+"""
+
+
+GENOME_SRC = """
+struct seg { seg* next; int hash; }
+struct segtable { seg** buckets; int nbuckets; int nsegs; }
+struct gnode { gnode* next; int val; }
+struct glist { gnode* head; int len; }
+segtable* ST;
+glist* GL;
+
+void setup() {
+  ST = new segtable;
+  ST->nbuckets = 32;
+  ST->buckets = new seg*[32];
+  GL = new glist;
+}
+
+int seg_insert(int h) {
+  int fresh = 0;
+  atomic {
+    int b = h % ST->nbuckets;
+    seg* e = ST->buckets[b];
+    while (e != null && e->hash != h) { e = e->next; }
+    if (e == null) {
+      seg* n = new seg;
+      n->hash = h;
+      n->next = ST->buckets[b];
+      ST->buckets[b] = n;
+      ST->nsegs = ST->nsegs + 1;
+      fresh = 1;
+    }
+    nop(4);
+  }
+  return fresh;
+}
+
+void glist_append(int v) {
+  atomic {
+    gnode* n = new gnode;
+    n->val = v;
+    n->next = GL->head;
+    GL->head = n;
+    GL->len = GL->len + 1;
+    nop(4);
+  }
+}
+
+int seg_lookup(int h) {
+  int found = 0;
+  atomic {
+    int b = h % ST->nbuckets;
+    seg* e = ST->buckets[b];
+    while (e != null && e->hash != h) { e = e->next; }
+    if (e != null) { found = 1; }
+    nop(4);
+  }
+  return found;
+}
+
+void main() {
+  setup();
+  int f = seg_insert(7);
+  if (f != 0) { glist_append(7); }
+  int g = seg_lookup(7);
+}
+"""
+
+
+KMEANS_SRC = """
+struct center { int x; int y; int count; int sumx; int sumy; }
+center** C;
+int NC;
+int DELTA;
+
+void setup() {
+  NC = 8;
+  C = new center*[8];
+  int i = 0;
+  while (i < 8) {
+    center* c = new center;
+    c->x = i * 13 % 97;
+    c->y = i * 31 % 89;
+    C[i] = c;
+    i = i + 1;
+  }
+}
+
+int assign_point(int px, int py) {
+  int best = 0;
+  atomic {
+    int bestd = 1000000;
+    int i = 0;
+    while (i < NC) {
+      center* c = C[i];
+      int dx = c->x - px;
+      int dy = c->y - py;
+      int d = dx * dx + dy * dy;
+      if (d < bestd) { bestd = d; best = i; }
+      i = i + 1;
+    }
+    center* win = C[best];
+    win->count = win->count + 1;
+    win->sumx = win->sumx + px;
+    win->sumy = win->sumy + py;
+    DELTA = DELTA + bestd;
+    nop(4);
+  }
+  return best;
+}
+
+void recenter() {
+  atomic {
+    int i = 0;
+    while (i < NC) {
+      center* c = C[i];
+      if (c->count > 0) {
+        c->x = c->sumx / c->count;
+        c->y = c->sumy / c->count;
+        c->count = 0;
+        c->sumx = 0;
+        c->sumy = 0;
+      }
+      i = i + 1;
+    }
+    nop(4);
+  }
+}
+
+void main() {
+  setup();
+  int b = assign_point(3, 4);
+  recenter();
+}
+"""
+
+
+BAYES_SRC = """
+struct edge { edge* next; int to; }
+struct bnode { edge* adj; int degree; }
+bnode** NET;
+int* MIX;
+int NN;
+int LOGLIK;
+
+void setup() {
+  NN = 24;
+  NET = new bnode*[24];
+  MIX = new int[24];
+  int i = 0;
+  while (i < NN) {
+    bnode* n = new bnode;
+    NET[i] = n;
+    MIX[i] = i * 7 % 24;
+    i = i + 1;
+  }
+}
+
+int has_edge(int from, int to) {
+  int found = 0;
+  atomic {
+    int h = MIX[from % 24];
+    bnode* n = NET[h];
+    edge* e = n->adj;
+    while (e != null && e->to != to) { e = e->next; }
+    if (e != null) { found = 1; }
+    nop(6);
+  }
+  return found;
+}
+
+void insert_edge(int from, int to) {
+  atomic {
+    int h = MIX[from % 24];
+    bnode* n = NET[h];
+    edge* e = n->adj;
+    while (e != null && e->to != to) { e = e->next; }
+    if (e == null) {
+      edge* fresh = new edge;
+      fresh->to = to;
+      fresh->next = n->adj;
+      n->adj = fresh;
+      n->degree = n->degree + 1;
+    }
+    LOGLIK = LOGLIK + to;
+    nop(6);
+  }
+}
+
+int score(int from) {
+  int s = 0;
+  atomic {
+    int h = MIX[from % 24];
+    bnode* n = NET[h];
+    edge* e = n->adj;
+    while (e != null) { s = s + e->to; e = e->next; }
+    s = s + LOGLIK;
+    nop(6);
+  }
+  return s;
+}
+
+void main() {
+  setup();
+  insert_edge(1, 2);
+  int h = has_edge(1, 2);
+  int s = score(1);
+}
+"""
+
+
+LABYRINTH_SRC = """
+int* GRID;
+int DIM;
+
+void setup() {
+  DIM = 32;
+  GRID = new int[1024];
+}
+
+int route(int start, int len) {
+  int claimed = 0;
+  atomic {
+    int i = 0;
+    int free = 1;
+    while (i < len) {
+      int cell = (start + i) % 1024;
+      if (GRID[cell] != 0) { free = 0; }
+      i = i + 1;
+    }
+    if (free == 1) {
+      i = 0;
+      while (i < len) {
+        int cell = (start + i) % 1024;
+        GRID[cell] = 1;
+        i = i + 1;
+      }
+      claimed = 1;
+    }
+    nop(16);
+  }
+  return claimed;
+}
+
+void unroute(int start, int len) {
+  atomic {
+    int i = 0;
+    while (i < len) {
+      int cell = (start + i) % 1024;
+      GRID[cell] = 0;
+      i = i + 1;
+    }
+    nop(16);
+  }
+}
+
+void main() {
+  setup();
+  int c = route(0, 4);
+  unroute(0, 4);
+}
+"""

@@ -1,0 +1,6 @@
+"""Control-flow graph construction over the lowered IR."""
+
+from .build import build_cfg, build_cfgs
+from .graph import CFG, Node, SectionInfo
+
+__all__ = ["CFG", "Node", "SectionInfo", "build_cfg", "build_cfgs"]

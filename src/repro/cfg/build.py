@@ -1,0 +1,123 @@
+"""CFG construction from structured lowered IR."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..lang import ir
+from .graph import CFG, Node, SectionInfo
+
+
+class _Builder:
+    def __init__(self, func: ir.LoweredFunction) -> None:
+        self.func = func
+        self.cfg = CFG(func.name)
+        self.section_stack: List[str] = []
+
+    @property
+    def current_section(self) -> Optional[str]:
+        return self.section_stack[-1] if self.section_stack else None
+
+    def build(self) -> CFG:
+        last = self.build_seq(self.func.body, self.cfg.entry)
+        if last is not None:
+            CFG.add_edge(last, self.cfg.exit)
+        return self.cfg
+
+    def build_seq(self, instrs: List[ir.Instr], pred: Optional[Node]) -> Optional[Node]:
+        """Wire *instrs* after *pred*; return the new tail (None if all paths
+        returned)."""
+        current = pred
+        for instr in instrs:
+            if current is None:
+                break  # unreachable code after return
+            current = self.build_instr(instr, current)
+        return current
+
+    def build_instr(self, instr: ir.Instr, pred: Node) -> Optional[Node]:
+        cfg = self.cfg
+        section = self.current_section
+        if isinstance(instr, (ir.IAssign, ir.IStore, ir.INop,
+                              ir.IAcquireAll, ir.IReleaseAll)):
+            node = cfg.new_node("instr", instr=instr, section_id=section)
+            CFG.add_edge(pred, node)
+            return node
+        if isinstance(instr, ir.IReturn):
+            node = cfg.new_node("instr", instr=instr, section_id=section)
+            CFG.add_edge(pred, node)
+            CFG.add_edge(node, cfg.exit)
+            return None
+        if isinstance(instr, ir.IIf):
+            branch = cfg.new_node("branch", cond=instr.cond, section_id=section)
+            CFG.add_edge(pred, branch)
+            then_tail = self.build_seq(instr.then, branch)
+            else_tail = self.build_seq(instr.orelse, branch) if instr.orelse else branch
+            join = cfg.new_node("join", section_id=section)
+            if then_tail is not None:
+                CFG.add_edge(then_tail, join)
+            if else_tail is not None:
+                CFG.add_edge(else_tail, join)
+            if then_tail is None and else_tail is None:
+                return None
+            return join
+        if isinstance(instr, ir.IWhile):
+            head = cfg.new_node("branch", cond=instr.cond, section_id=section)
+            CFG.add_edge(pred, head)
+            body_tail = self.build_seq(instr.body, head)
+            if body_tail is not None:
+                CFG.add_edge(body_tail, head)
+            after = cfg.new_node("join", section_id=section)
+            CFG.add_edge(head, after)
+            return after
+        if isinstance(instr, ir.IAtomic):
+            enter = cfg.new_node("atomic_enter", section_id=instr.section_id)
+            CFG.add_edge(pred, enter)
+            depth = len(self.section_stack) + 1
+            self.section_stack.append(instr.section_id)
+            body_tail = self.build_seq(instr.body, enter)
+            self.section_stack.pop()
+            exit_node = cfg.new_node("atomic_exit", section_id=instr.section_id)
+            info = SectionInfo(
+                section_id=instr.section_id,
+                func_name=self.func.name,
+                enter=enter,
+                exit=exit_node,
+                depth=depth,
+            )
+            cfg.sections[instr.section_id] = info
+            if body_tail is None:
+                # A return inside an atomic section: we disallow this because
+                # releaseAll placement and the paper's semantics assume
+                # single-exit sections.
+                raise ValueError(
+                    f"return inside atomic section {instr.section_id} is not supported"
+                )
+            CFG.add_edge(body_tail, exit_node)
+            self._collect_section_nodes(info, enter, exit_node)
+            return exit_node
+        raise TypeError(f"unknown instruction {instr!r}")
+
+    def _collect_section_nodes(self, info: SectionInfo, enter: Node, exit_node: Node) -> None:
+        """Collect all nodes on paths from enter to exit (the section body)."""
+        stack = [enter]
+        seen = {enter.uid}
+        while stack:
+            node = stack.pop()
+            info.nodes.add(node)
+            if node is exit_node:
+                continue
+            for succ in node.succs:
+                if succ.uid not in seen:
+                    seen.add(succ.uid)
+                    stack.append(succ)
+        info.nodes.add(exit_node)
+
+
+def build_cfg(func: ir.LoweredFunction) -> CFG:
+    """Build the control-flow graph for one lowered function."""
+    return _Builder(func).build()
+
+
+def build_cfgs(program: ir.LoweredProgram) -> Dict[str, CFG]:
+    """Build CFGs for every function in *program*."""
+    return {name: build_cfg(func) for name, func in program.functions.items()}

@@ -1,0 +1,113 @@
+"""Control-flow graphs over the lowered IR.
+
+Each function gets a CFG whose nodes are simple instructions, branch tests,
+atomic-section boundary markers, and entry/exit sentinels. Program points are
+the edges *before* each node; the lock-inference dataflow attaches its lock
+sets to nodes (meaning: the set holding immediately before that node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..lang import ir
+
+
+@dataclass
+class Node:
+    """A CFG node. ``uid`` is unique within its function's CFG."""
+
+    uid: int
+    kind: str  # entry | exit | instr | branch | atomic_enter | atomic_exit
+    instr: Optional[ir.Instr] = None
+    cond: Optional[ir.Cond] = None
+    section_id: Optional[str] = None  # innermost enclosing atomic section
+    succs: List["Node"] = field(default_factory=list)
+    preds: List["Node"] = field(default_factory=list)
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:
+        desc = self.kind
+        if self.instr is not None:
+            desc += f" {self.instr}"
+        elif self.cond is not None:
+            desc += f" ({self.cond})"
+        if self.section_id:
+            desc += f" @{self.section_id}"
+        return f"<n{self.uid}: {desc}>"
+
+
+@dataclass
+class SectionInfo:
+    """Metadata about one atomic section."""
+
+    section_id: str
+    func_name: str
+    enter: Node
+    exit: Node
+    nodes: Set[Node] = field(default_factory=set)
+    depth: int = 1  # static nesting depth (1 = outermost in this function)
+
+
+class CFG:
+    """Control-flow graph of a single lowered function."""
+
+    def __init__(self, func_name: str) -> None:
+        self.func_name = func_name
+        self.nodes: List[Node] = []
+        self.entry = self.new_node("entry")
+        self.exit = self.new_node("exit")
+        self.sections: Dict[str, SectionInfo] = {}
+
+    def new_node(
+        self,
+        kind: str,
+        instr: Optional[ir.Instr] = None,
+        cond: Optional[ir.Cond] = None,
+        section_id: Optional[str] = None,
+    ) -> Node:
+        node = Node(uid=len(self.nodes), kind=kind, instr=instr, cond=cond,
+                    section_id=section_id)
+        self.nodes.append(node)
+        return node
+
+    @staticmethod
+    def add_edge(src: Node, dst: Node) -> None:
+        src.succs.append(dst)
+        dst.preds.append(src)
+
+    def instr_nodes(self) -> Iterable[Node]:
+        return (n for n in self.nodes if n.kind == "instr")
+
+    def reverse_postorder(self) -> List[Node]:
+        """Reverse postorder from entry (forward analyses / iteration order)."""
+        seen: Set[int] = set()
+        order: List[Node] = []
+
+        stack: List = [(self.entry, iter(self.entry.succs))]
+        seen.add(self.entry.uid)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ.uid not in seen:
+                    seen.add(succ.uid)
+                    stack.append((succ, iter(succ.succs)))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+        order.reverse()
+        return order
+
+    def postorder(self) -> List[Node]:
+        order = self.reverse_postorder()
+        order.reverse()
+        return order

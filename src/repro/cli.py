@@ -1,0 +1,155 @@
+"""Command-line driver: ``python -m repro <command> …``.
+
+Commands:
+
+* ``analyze <file.mc> [--k K] [--no-effects]`` — print the inferred locks
+  per atomic section and the Figure 7-style classification counts;
+* ``transform <file.mc> [--k K]`` — print the transformed (acquireAll /
+  releaseAll) program;
+* ``run <bench> --config CFG [--threads N] [--ops N] [--setting S]`` —
+  simulate one benchmark cell and print the makespan and statistics;
+* ``bench-table2 [--ops N]`` / ``bench-figure7`` — regenerate a paper
+  experiment from the command line;
+* ``list-benchmarks`` — show the registered benchmark programs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import ALL_BENCHMARKS, CONFIGS, run_benchmark
+from .bench.reporting import figure7, figure7_counts, table2, table2_rows
+from .inference import LockInference, transform_with_inference
+from .lang import parse_program, print_lowered_program
+from .lang.validate import validate_program
+
+
+def _read_source(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    validate_program(parse_program(source))
+    result = LockInference(source, k=args.k,
+                           use_effects=not args.no_effects).run()
+    print(result.describe())
+    counts = result.lock_counts()
+    print(
+        f"\nlocks: {counts.fine_ro} fine-ro, {counts.fine_rw} fine-rw, "
+        f"{counts.coarse_ro} coarse-ro, {counts.coarse_rw} coarse-rw, "
+        f"{counts.global_locks} global"
+    )
+    print(f"analysis time: {result.analysis_time:.3f}s "
+          f"(pointer {result.pointer_time:.3f}s, "
+          f"dataflow {result.dataflow_time:.3f}s)")
+    return 0
+
+
+def cmd_transform(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    validate_program(parse_program(source))
+    result = LockInference(source, k=args.k).run()
+    print(print_lowered_program(transform_with_inference(result)))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = ALL_BENCHMARKS.get(args.bench)
+    if spec is None:
+        print(f"unknown benchmark {args.bench!r}; see list-benchmarks",
+              file=sys.stderr)
+        return 2
+    setting = args.setting
+    if setting is None and spec.settings != (None,):
+        setting = spec.settings[0]
+    result = run_benchmark(
+        spec,
+        args.config,
+        threads=args.threads,
+        setting=setting,
+        n_ops=args.ops,
+        ncores=args.cores,
+    )
+    print(f"{result.label} [{args.config}] x{args.threads} threads: "
+          f"{result.ticks} ticks")
+    print(f"  work={result.work} blocked_ticks={result.blocked_ticks} "
+          f"lock_acquires={result.lock_acquires}")
+    if args.config == "stm":
+        print(f"  stm: {result.stm_commits} commits, "
+              f"{result.stm_aborts} aborts")
+    else:
+        print(f"  checker validated {result.checked_accesses} accesses")
+    return 0
+
+
+def cmd_bench_table2(args: argparse.Namespace) -> int:
+    rows = table2_rows(threads=args.threads, n_ops=args.ops)
+    print(table2(rows))
+    return 0
+
+
+def cmd_bench_figure7(args: argparse.Namespace) -> int:
+    sources = {name: spec.source for name, spec in ALL_BENCHMARKS.items()}
+    print(figure7(figure7_counts(sources)))
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for name, spec in sorted(ALL_BENCHMARKS.items()):
+        settings = ", ".join(s or "-" for s in spec.settings)
+        print(f"{name:14s} settings: {settings}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Inferring Locks for Atomic Sections (PLDI'08) tooling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="infer locks for a mini-C file")
+    p.add_argument("file")
+    p.add_argument("--k", type=int, default=9)
+    p.add_argument("--no-effects", action="store_true")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("transform", help="print the lock-based program")
+    p.add_argument("file")
+    p.add_argument("--k", type=int, default=9)
+    p.set_defaults(func=cmd_transform)
+
+    p = sub.add_parser("run", help="simulate one benchmark cell")
+    p.add_argument("bench")
+    p.add_argument("--config", choices=CONFIGS, default="fine+coarse")
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--cores", type=int, default=8)
+    p.add_argument("--ops", type=int, default=None)
+    p.add_argument("--setting", choices=("low", "high"), default=None)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("bench-table2", help="regenerate Table 2")
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--ops", type=int, default=None)
+    p.set_defaults(func=cmd_bench_table2)
+
+    p = sub.add_parser("bench-figure7", help="regenerate Figure 7")
+    p.set_defaults(func=cmd_bench_figure7)
+
+    p = sub.add_parser("list-benchmarks", help="list benchmark programs")
+    p.set_defaults(func=cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

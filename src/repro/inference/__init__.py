@@ -1,0 +1,26 @@
+"""Lock inference: the paper's §4 analysis framework and transformation."""
+
+from .analysis import InferenceResult, LockClassCounts, LockInference, infer_locks
+from .engine import Engine, SectionLocks, SummaryResult
+from .libspec import ExternalSpec, SpecLibrary, reachable_classes
+from .transform import (
+    transform_global,
+    transform_program,
+    transform_with_inference,
+)
+
+__all__ = [
+    "LockInference",
+    "infer_locks",
+    "InferenceResult",
+    "LockClassCounts",
+    "Engine",
+    "SectionLocks",
+    "SummaryResult",
+    "ExternalSpec",
+    "SpecLibrary",
+    "reachable_classes",
+    "transform_program",
+    "transform_with_inference",
+    "transform_global",
+]

@@ -1,0 +1,161 @@
+"""Top-level lock-inference driver: parse → lower → points-to → infer.
+
+:class:`LockInference` wires the whole §4 pipeline together and exposes the
+per-section lock sets plus the classification statistics behind the paper's
+Figure 7 (fine/coarse × read-only/read-write lock counts).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..cfg import CFG, build_cfgs
+from ..lang import ast, ir, lower_program, parse_program
+from ..locks.effects import RO, RW
+from ..locks.paperlock import Lock
+from ..pointer.steensgaard import PointsTo
+from .engine import Engine, SectionLocks
+from .libspec import SpecLibrary
+
+
+@dataclass
+class LockClassCounts:
+    """Figure 7's four lock categories (plus the global lock)."""
+
+    fine_ro: int = 0
+    fine_rw: int = 0
+    coarse_ro: int = 0
+    coarse_rw: int = 0
+    global_locks: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.fine_ro + self.fine_rw + self.coarse_ro + self.coarse_rw
+                + self.global_locks)
+
+    def add(self, lock: Lock) -> None:
+        if lock.is_global:
+            self.global_locks += 1
+        elif lock.is_fine:
+            if lock.eff == RO:
+                self.fine_ro += 1
+            else:
+                self.fine_rw += 1
+        else:
+            if lock.eff == RO:
+                self.coarse_ro += 1
+            else:
+                self.coarse_rw += 1
+
+    def __add__(self, other: "LockClassCounts") -> "LockClassCounts":
+        return LockClassCounts(
+            self.fine_ro + other.fine_ro,
+            self.fine_rw + other.fine_rw,
+            self.coarse_ro + other.coarse_ro,
+            self.coarse_rw + other.coarse_rw,
+            self.global_locks + other.global_locks,
+        )
+
+
+@dataclass
+class InferenceResult:
+    """Everything the analysis produced for one program and one k."""
+
+    program: ir.LoweredProgram
+    cfgs: Dict[str, CFG]
+    pointsto: PointsTo
+    sections: Dict[str, SectionLocks] = field(default_factory=dict)
+    k: int = 3
+    use_effects: bool = True
+    pointer_time: float = 0.0
+    dataflow_time: float = 0.0
+
+    @property
+    def analysis_time(self) -> float:
+        return self.pointer_time + self.dataflow_time
+
+    def locks_for(self, section_id: str) -> SectionLocks:
+        return self.sections[section_id]
+
+    def lock_counts(self) -> LockClassCounts:
+        counts = LockClassCounts()
+        for section in self.sections.values():
+            for lock in section.locks:
+                counts.add(lock)
+        return counts
+
+    def describe(self) -> str:
+        lines: List[str] = []
+        for section_id, section in sorted(self.sections.items()):
+            locks = ", ".join(sorted(str(lock) for lock in section.locks))
+            lines.append(f"{section_id}: {{{locks}}}")
+        return "\n".join(lines)
+
+
+class LockInference:
+    """Run the paper's analysis on a program for a fixed (k, effects) config."""
+
+    def __init__(
+        self,
+        program: Union[str, ast.Program, ir.LoweredProgram],
+        k: int = 3,
+        use_effects: bool = True,
+        specs: Optional[SpecLibrary] = None,
+        alias: str = "steensgaard",
+    ) -> None:
+        if isinstance(program, str):
+            program = parse_program(program)
+        if isinstance(program, ast.Program):
+            program = lower_program(program)
+        if alias not in ("steensgaard", "andersen"):
+            raise ValueError(f"unknown alias analysis {alias!r}")
+        self.program: ir.LoweredProgram = program
+        self.k = k
+        self.use_effects = use_effects
+        self.specs = specs
+        self.alias = alias
+
+    def run(self) -> InferenceResult:
+        started = time.perf_counter()
+        pointsto = PointsTo(self.program).analyze()
+        pointer_time = time.perf_counter() - started
+
+        cfgs = build_cfgs(self.program)
+        result = InferenceResult(
+            program=self.program,
+            cfgs=cfgs,
+            pointsto=pointsto,
+            k=self.k,
+            use_effects=self.use_effects,
+            pointer_time=pointer_time,
+        )
+        started = time.perf_counter()
+        oracle = None
+        if self.alias == "andersen":
+            from ..pointer.andersen import Andersen, AndersenOracle
+
+            andersen = Andersen(self.program, pointsto).analyze()
+            oracle = AndersenOracle(pointsto, andersen)
+        engine = Engine(self.program, cfgs, pointsto, k=self.k,
+                        use_effects=self.use_effects, specs=self.specs,
+                        oracle=oracle)
+        for func_name, cfg in cfgs.items():
+            for section in cfg.sections.values():
+                result.sections[section.section_id] = engine.analyze_section(
+                    func_name, section
+                )
+        result.dataflow_time = time.perf_counter() - started
+        return result
+
+
+def infer_locks(
+    source: Union[str, ast.Program, ir.LoweredProgram],
+    k: int = 3,
+    use_effects: bool = True,
+    specs: Optional[SpecLibrary] = None,
+) -> InferenceResult:
+    """One-call convenience wrapper around :class:`LockInference`."""
+    return LockInference(source, k=k, use_effects=use_effects,
+                         specs=specs).run()

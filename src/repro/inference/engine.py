@@ -1,0 +1,797 @@
+"""The lock-inference dataflow engine (paper §4).
+
+A backward dataflow over each atomic section's CFG region tracks sets of
+symbolic lock terms (with effects). Statements transfer terms via the
+pre-image substitution of :mod:`repro.inference.subst`; accesses generate
+new terms (the G sets of Figure 4); k-limiting widens inadmissible terms to
+coarse points-to-class locks, which are flow-insensitive and accumulate
+out-of-band (§4.3: "our tool only tracks k-limited expressions until they
+become ⊤, at which point ... the corresponding points-to set lock is added
+to the analysis solution").
+
+Function calls use *function summaries* (§4.3):
+
+* a **transfer summary** ``(f, term, eff)`` maps a lock term at f's exit to
+  the terms/coarse locks protecting the same locations at f's entry
+  (the paper's ``f_s``, with ``src(l)`` bookkeeping replaced by explicit
+  per-seed runs);
+* an **access summary** ``(f,)`` covers every access inside f (and its
+  callees) with terms at f's entry.
+
+Summaries are solved by a global worklist fixpoint with dependency
+re-enqueueing; the section analysis re-runs until the summary table is
+stable (both lattices are finite thanks to k-limiting, so this terminates).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..cfg import CFG, Node, SectionInfo
+from ..lang import ast, ir
+from ..locks.effects import RO, RW, eff_join
+from ..locks.paperlock import Lock, coarse_lock, fine_lock, global_lock, reduce_locks
+from ..locks.terms import (
+    IVar,
+    Term,
+    TIndex,
+    TPlus,
+    TStar,
+    TVar,
+    term_free_vars,
+    term_has_unknown,
+    term_size,
+)
+from ..pointer.aliasing import AliasOracle
+from ..pointer.steensgaard import PointsTo
+from .libspec import SpecLibrary, reachable_classes
+from .subst import Substituter, WriteInfo, atom_to_index, content_terms_for_rhs
+
+# A dataflow fact set: term -> strongest effect required.
+TermSet = Dict[Term, str]
+# A coarse emission: (class id or None for the global lock, effect).
+CoarseSet = FrozenSet[Tuple[Optional[int], str]]
+
+ACCESS = "$access"
+
+
+@dataclass(frozen=True)
+class SummaryResult:
+    """Entry-point terms and coarse emissions for one summary key."""
+
+    terms: FrozenSet[Tuple[Term, str]] = frozenset()
+    coarse: CoarseSet = frozenset()
+
+    @staticmethod
+    def empty() -> "SummaryResult":
+        return SummaryResult()
+
+
+@dataclass
+class SectionLocks:
+    """Analysis result for one atomic section."""
+
+    section_id: str
+    func_name: str
+    locks: FrozenSet[Lock] = frozenset()
+
+    @property
+    def fine(self) -> List[Lock]:
+        return [lock for lock in self.locks if lock.is_fine]
+
+    @property
+    def coarse(self) -> List[Lock]:
+        return [lock for lock in self.locks if lock.is_coarse]
+
+    @property
+    def has_global(self) -> bool:
+        return any(lock.is_global for lock in self.locks)
+
+
+class _RunContext:
+    """Per-dataflow-run state: coarse emissions and summary demands."""
+
+    def __init__(self, engine: "Engine", requester: tuple) -> None:
+        self.engine = engine
+        self.requester = requester
+        self.coarse: Set[Tuple[Optional[int], str]] = set()
+
+    def emit_coarse(self, cls: Optional[int], eff: str) -> None:
+        self.coarse.add((cls, eff))
+
+    def get_summary(self, key: tuple) -> SummaryResult:
+        return self.engine._demand_summary(key, self.requester)
+
+
+class Engine:
+    """Whole-program lock inference for one (k, use_effects) configuration."""
+
+    def __init__(
+        self,
+        program: ir.LoweredProgram,
+        cfgs: Dict[str, CFG],
+        pointsto: PointsTo,
+        k: int = 3,
+        use_effects: bool = True,
+        specs: Optional[SpecLibrary] = None,
+        oracle: Optional[AliasOracle] = None,
+    ) -> None:
+        self.program = program
+        self.cfgs = cfgs
+        self.pointsto = pointsto
+        self.oracle = oracle if oracle is not None else AliasOracle(pointsto)
+        self.specs = specs
+        self.k = k
+        self.use_effects = use_effects
+        # summary machinery
+        self._summaries: Dict[tuple, SummaryResult] = {}
+        self._deps: Dict[tuple, Set[tuple]] = {}
+        self._worklist: deque = deque()
+        self._queued: Set[tuple] = set()
+        self._version = 0
+        # per-function write-effect memo (for caller-local terms across calls)
+        self._written_classes: Dict[str, Optional[FrozenSet[int]]] = {}
+        self.stats = {"dataflow_steps": 0, "summary_runs": 0}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def analyze_section(self, func_name: str, section: SectionInfo) -> SectionLocks:
+        """Infer the lock set protecting one atomic section."""
+        requester = ("section", section.section_id)
+        while True:
+            version = self._version
+            ctx = _RunContext(self, requester)
+            entry_terms = self._run_region(func_name, section, ctx)
+            self._solve_summaries()
+            if self._version == version:
+                break
+        locks = self._assemble_locks(func_name, entry_terms, ctx.coarse)
+        return SectionLocks(section.section_id, func_name, locks)
+
+    # ------------------------------------------------------------------
+    # lock assembly
+    # ------------------------------------------------------------------
+
+    def _assemble_locks(
+        self,
+        func_name: str,
+        entry_terms: TermSet,
+        coarse: Set[Tuple[Optional[int], str]],
+    ) -> FrozenSet[Lock]:
+        locks: Set[Lock] = set()
+        for cls, eff in coarse:
+            eff = eff if self.use_effects else RW
+            if cls is None:
+                locks.add(global_lock(RW))
+            else:
+                locks.add(coarse_lock(cls, eff))
+        for term, eff in entry_terms.items():
+            eff = eff if self.use_effects else RW
+            cls = self.oracle.class_of_term(func_name, term)
+            locks.add(fine_lock(term, cls, eff, func_name))
+        return reduce_locks(locks)
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+
+    def _demand_summary(self, key: tuple, requester: tuple) -> SummaryResult:
+        self._deps.setdefault(key, set()).add(requester)
+        if key not in self._summaries:
+            self._summaries[key] = SummaryResult.empty()
+            self._enqueue(key)
+        return self._summaries[key]
+
+    def _enqueue(self, key: tuple) -> None:
+        if key not in self._queued:
+            self._queued.add(key)
+            self._worklist.append(key)
+
+    def _solve_summaries(self) -> None:
+        while self._worklist:
+            key = self._worklist.popleft()
+            self._queued.discard(key)
+            result = self._compute_summary(key)
+            if result != self._summaries.get(key):
+                self._summaries[key] = result
+                self._version += 1
+                for dep in self._deps.get(key, ()):
+                    if dep[0] != "section":
+                        self._enqueue(dep)
+
+    def _compute_summary(self, key: tuple) -> SummaryResult:
+        self.stats["summary_runs"] += 1
+        func_name = key[1]
+        cfg = self.cfgs.get(func_name)
+        func = self.program.functions.get(func_name)
+        if cfg is None or func is None:
+            return SummaryResult(coarse=frozenset(((None, RW),)))
+        ctx = _RunContext(self, key)
+        if key[0] == "acc":
+            seed: TermSet = {}
+            with_g = True
+        else:  # ("xfer", func, term, eff)
+            seed = {key[2]: key[3]}
+            with_g = False
+        entry = self._run_function(func_name, cfg, seed, with_g, ctx)
+        terms: Set[Tuple[Term, str]] = set()
+        allowed = set(func.params) | set(self.program.globals)
+        for term, eff in entry.items():
+            free = term_free_vars(term)
+            locals_used = {
+                v for v in free
+                if v not in self.program.globals or self._shadowed(func_name, v)
+            }
+            if locals_used - set(func.params):
+                # references callee locals with no entry value: widen
+                ctx.emit_coarse(self.oracle.class_of_term(func_name, term), eff)
+            elif isinstance(term, TVar) and term.name in func.params:
+                pass  # the formal's own (fresh, thread-local) cell
+            else:
+                terms.add((term, eff))
+        return SummaryResult(frozenset(terms), frozenset(ctx.coarse))
+
+    def _shadowed(self, func_name: str, name: str) -> bool:
+        func = self.program.functions.get(func_name)
+        if func is None:
+            return False
+        return name in func.locals or name in func.params
+
+    def _is_global(self, func_name: str, name: str) -> bool:
+        return self.pointsto.var_key(func_name, name)[0] == ""
+
+    # ------------------------------------------------------------------
+    # dataflow runs
+    # ------------------------------------------------------------------
+
+    def _run_region(
+        self, func_name: str, section: SectionInfo, ctx: _RunContext
+    ) -> TermSet:
+        region = section.nodes
+        in_sets: Dict[int, TermSet] = {n.uid: {} for n in region}
+        worklist = deque(sorted(region, key=lambda n: -n.uid))
+        queued = {n.uid for n in region}
+        while worklist:
+            node = worklist.popleft()
+            queued.discard(node.uid)
+            out: TermSet = {}
+            for succ in node.succs:
+                if succ.uid in in_sets:
+                    _join_into(out, in_sets[succ.uid])
+            new_in = self._transfer(func_name, node, out, ctx)
+            if new_in != in_sets[node.uid]:
+                in_sets[node.uid] = new_in
+                for pred in node.preds:
+                    if pred.uid in in_sets and pred.uid not in queued:
+                        queued.add(pred.uid)
+                        worklist.append(pred)
+        return in_sets[section.enter.uid]
+
+    def _run_function(
+        self,
+        func_name: str,
+        cfg: CFG,
+        exit_seed: TermSet,
+        with_g: bool,
+        ctx: _RunContext,
+    ) -> TermSet:
+        in_sets: Dict[int, TermSet] = {n.uid: {} for n in cfg.nodes}
+        in_sets[cfg.exit.uid] = dict(exit_seed)
+        worklist = deque(sorted(cfg.nodes, key=lambda n: -n.uid))
+        queued = {n.uid for n in cfg.nodes}
+        while worklist:
+            node = worklist.popleft()
+            queued.discard(node.uid)
+            if node is cfg.exit:
+                continue
+            out: TermSet = {}
+            for succ in node.succs:
+                _join_into(out, in_sets[succ.uid])
+            new_in = self._transfer(func_name, node, out, ctx, with_g=with_g)
+            if new_in != in_sets[node.uid]:
+                in_sets[node.uid] = new_in
+                for pred in node.preds:
+                    if pred.uid not in queued:
+                        queued.add(pred.uid)
+                        worklist.append(pred)
+        return in_sets[cfg.entry.uid]
+
+    # ------------------------------------------------------------------
+    # transfer functions
+    # ------------------------------------------------------------------
+
+    def _transfer(
+        self,
+        func_name: str,
+        node: Node,
+        out: TermSet,
+        ctx: _RunContext,
+        with_g: bool = True,
+    ) -> TermSet:
+        self.stats["dataflow_steps"] += 1
+        if node.kind == "branch":
+            result = dict(out)
+            if with_g:
+                for atom in (node.cond.left, node.cond.right):
+                    self._gen_var_read(func_name, atom, result, ctx)
+            return result
+        if node.kind != "instr":
+            return dict(out)
+        instr = node.instr
+        if isinstance(instr, ir.IAssign):
+            if isinstance(instr.rhs, ir.RCall):
+                return self._transfer_call(func_name, instr, out, ctx, with_g)
+            return self._transfer_assign(func_name, instr, out, ctx, with_g)
+        if isinstance(instr, ir.IStore):
+            return self._transfer_store(func_name, instr, out, ctx, with_g)
+        if isinstance(instr, ir.IReturn):
+            return self._transfer_return(func_name, instr, out, ctx, with_g)
+        # INop / IAcquireAll / IReleaseAll
+        return dict(out)
+
+    def _transfer_assign(
+        self,
+        func_name: str,
+        instr: ir.IAssign,
+        out: TermSet,
+        ctx: _RunContext,
+        with_g: bool,
+    ) -> TermSet:
+        write = WriteInfo(
+            definite=TVar(instr.dest),
+            func=func_name,
+            ptr_content=content_terms_for_rhs(instr.rhs)[0],
+            int_content=content_terms_for_rhs(instr.rhs)[1],
+        )
+        result = self._apply_write(func_name, write, out, ctx)
+        if with_g:
+            self._gen_assign(func_name, instr, result, ctx)
+        return result
+
+    def _transfer_store(
+        self,
+        func_name: str,
+        instr: ir.IStore,
+        out: TermSet,
+        ctx: _RunContext,
+        with_g: bool,
+    ) -> TermSet:
+        value = instr.value
+        if isinstance(value, ir.VarAtom):
+            ptr_content: Optional[Term] = TStar(TVar(value.name))
+            int_content = IVar(value.name)
+        elif isinstance(value, ir.ConstAtom):
+            ptr_content, int_content = None, atom_to_index(value)
+        else:
+            ptr_content, int_content = None, None
+        write = WriteInfo(
+            definite=TStar(TVar(instr.addr)),
+            func=func_name,
+            ptr_content=ptr_content,
+            int_content=int_content,
+        )
+        result = self._apply_write(func_name, write, out, ctx)
+        if with_g:
+            self._admit(func_name, TStar(TVar(instr.addr)), RW, result, ctx)
+            self._gen_var_read(func_name, ir.VarAtom(instr.addr), result, ctx)
+            self._gen_var_read(func_name, value, result, ctx)
+        return result
+
+    def _transfer_return(
+        self,
+        func_name: str,
+        instr: ir.IReturn,
+        out: TermSet,
+        ctx: _RunContext,
+        with_g: bool,
+    ) -> TermSet:
+        if instr.value is None:
+            return dict(out)
+        # return v  ==  ret$f = v  (paper §3.1)
+        if isinstance(instr.value, ir.VarAtom):
+            ptr_content: Optional[Term] = TStar(TVar(instr.value.name))
+        else:
+            ptr_content = None
+        write = WriteInfo(
+            definite=TVar(ast.return_var(func_name)),
+            func=func_name,
+            ptr_content=ptr_content,
+            int_content=atom_to_index(instr.value)
+            if not isinstance(instr.value, ir.NullAtom)
+            else None,
+        )
+        result = self._apply_write(func_name, write, out, ctx)
+        if with_g:
+            self._gen_var_read(func_name, instr.value, result, ctx)
+        return result
+
+    def _apply_write(
+        self, func_name: str, write: WriteInfo, out: TermSet, ctx: _RunContext
+    ) -> TermSet:
+        result: TermSet = {}
+        if not out:
+            return result
+        sub = Substituter(self.oracle, write, func_name)
+        for term, eff in out.items():
+            for pre in sub.pre_terms(term):
+                self._admit(func_name, pre, eff, result, ctx)
+        return result
+
+    # ------------------------------------------------------------------
+    # G sets (access lock generation)
+    # ------------------------------------------------------------------
+
+    def _gen_assign(
+        self, func_name: str, instr: ir.IAssign, result: TermSet, ctx: _RunContext
+    ) -> None:
+        if self._is_global(func_name, instr.dest):
+            self._admit(func_name, TVar(instr.dest), RW, result, ctx)
+        rhs = instr.rhs
+        if isinstance(rhs, ir.RVar):
+            self._gen_var_read(func_name, ir.VarAtom(rhs.src), result, ctx)
+        elif isinstance(rhs, ir.RLoad):
+            self._admit(func_name, TStar(TVar(rhs.src)), RO, result, ctx)
+            self._gen_var_read(func_name, ir.VarAtom(rhs.src), result, ctx)
+        elif isinstance(rhs, (ir.RFieldAddr, ir.RIndexAddr)):
+            self._gen_var_read(func_name, ir.VarAtom(rhs.src), result, ctx)
+            if isinstance(rhs, ir.RIndexAddr):
+                self._gen_var_read(func_name, rhs.index, result, ctx)
+        elif isinstance(rhs, ir.RNewArray):
+            self._gen_var_read(func_name, rhs.size, result, ctx)
+        elif isinstance(rhs, ir.RArith):
+            self._gen_var_read(func_name, rhs.left, result, ctx)
+            if rhs.right is not None:
+                self._gen_var_read(func_name, rhs.right, result, ctx)
+        # RAddrVar, RNew, RNull, RConst: no shared access
+
+    def _gen_var_read(
+        self, func_name: str, atom: ir.Atom, result: TermSet, ctx: _RunContext
+    ) -> None:
+        if isinstance(atom, ir.VarAtom) and self._is_global(func_name, atom.name):
+            self._admit(func_name, TVar(atom.name), RO, result, ctx)
+
+    def _admit(
+        self,
+        func_name: str,
+        term: Term,
+        eff: str,
+        result: TermSet,
+        ctx: _RunContext,
+    ) -> None:
+        """Add *term* to the tracked set, or widen it to a coarse lock."""
+        if isinstance(term, TVar) and not self._is_global(func_name, term.name):
+            return  # a thread-local variable cell needs no lock (§4.3)
+        if term_size(term) > self.k or term_has_unknown(term):
+            ctx.emit_coarse(self.oracle.class_of_term(func_name, term), eff)
+            return
+        result[term] = eff_join(eff, result.get(term, RO))
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+
+    def _transfer_call(
+        self,
+        func_name: str,
+        instr: ir.IAssign,
+        out: TermSet,
+        ctx: _RunContext,
+        with_g: bool,
+    ) -> TermSet:
+        rhs = instr.rhs
+        assert isinstance(rhs, ir.RCall)
+        callee = self.program.functions.get(rhs.func)
+        result: TermSet = {}
+        if callee is None:
+            spec = self.specs.get(rhs.func) if self.specs is not None else None
+            if spec is not None:
+                return self._transfer_spec_call(func_name, instr, spec, out,
+                                                ctx, with_g)
+            # Unknown function without a spec: protect everything.
+            ctx.emit_coarse(None, RW)
+            for term, eff in out.items():
+                result[term] = eff_join(eff, result.get(term, RO))
+            return result
+        ret = ast.return_var(rhs.func)
+        bind_ret = WriteInfo(
+            definite=TVar(instr.dest),
+            func=func_name,
+            ptr_content=TStar(TVar(ret)),
+            int_content=IVar(ret),
+        )
+        sub = Substituter(self.oracle, bind_ret, func_name)
+        for term, eff in out.items():
+            for t1 in sub.pre_terms(term):
+                self._route_through_callee(
+                    func_name, rhs, callee, t1, eff, result, ctx
+                )
+        # the callee's own accesses
+        acc = ctx.get_summary(("acc", rhs.func))
+        self._apply_summary(func_name, rhs, callee, acc, result, ctx)
+        if with_g:
+            if self._is_global(func_name, instr.dest):
+                self._admit(func_name, TVar(instr.dest), RW, result, ctx)
+            for arg in rhs.args:
+                self._gen_var_read(func_name, arg, result, ctx)
+        return result
+
+    def _transfer_spec_call(
+        self,
+        func_name: str,
+        instr: ir.IAssign,
+        spec,
+        out: TermSet,
+        ctx: _RunContext,
+        with_g: bool,
+    ) -> TermSet:
+        """Call transfer for a pre-compiled function described only by an
+        :class:`ExternalSpec` (paper §4.3, library support)."""
+        rhs = instr.rhs
+        result: TermSet = {}
+        written: Set[int] = set()
+        # 1. protect everything the callee may touch, per the spec
+        for param_eff, arg in zip(spec.param_effects, rhs.args):
+            if param_eff == "none" or not isinstance(arg, ir.VarAtom):
+                continue
+            start = self.pointsto.pts_class(
+                self.pointsto.var_ecr(func_name, arg.name)
+            )
+            classes = reachable_classes(self.pointsto, start)
+            eff = RO if param_eff == "ro" else RW
+            for cls in classes:
+                ctx.emit_coarse(cls, eff)
+            if param_eff == "rw":
+                written |= classes
+        if spec.reads_globals or spec.writes_globals:
+            eff = RW if spec.writes_globals else RO
+            for name in self.program.globals:
+                cell = self.pointsto.var_ecr("", name)
+                classes = reachable_classes(self.pointsto, cell)
+                for cls in classes:
+                    ctx.emit_coarse(cls, eff)
+                if spec.writes_globals:
+                    written |= classes
+        # 2. carry caller terms across the call
+        ret_param = spec.return_param
+        if spec.returns == "fresh":
+            ptr_content: Optional[Term] = None
+        elif ret_param is not None and ret_param < len(rhs.args) and isinstance(
+            rhs.args[ret_param], ir.VarAtom
+        ):
+            ptr_content = TStar(TVar(rhs.args[ret_param].name))
+        else:
+            ptr_content = None  # only safe together with the check below
+        returns_unknown = spec.returns == "unknown"
+        bind = WriteInfo(
+            definite=TVar(instr.dest),
+            func=func_name,
+            ptr_content=ptr_content,
+            int_content=None,
+        )
+        sub = Substituter(self.oracle, bind, func_name)
+        for term, eff in out.items():
+            if returns_unknown and instr.dest in term_free_vars(term):
+                # result value inexpressible: widen anything built on it
+                ctx.emit_coarse(self.oracle.class_of_term(func_name, term), eff)
+                continue
+            for pre in sub.pre_terms(term):
+                if written and written & self._read_classes(func_name, pre):
+                    ctx.emit_coarse(
+                        self.oracle.class_of_term(func_name, pre), eff
+                    )
+                else:
+                    self._admit(func_name, pre, eff, result, ctx)
+        if with_g:
+            if self._is_global(func_name, instr.dest):
+                self._admit(func_name, TVar(instr.dest), RW, result, ctx)
+            for arg in rhs.args:
+                self._gen_var_read(func_name, arg, result, ctx)
+        return result
+
+    def _route_through_callee(
+        self,
+        func_name: str,
+        call: ir.RCall,
+        callee: ir.LoweredFunction,
+        term: Term,
+        eff: str,
+        result: TermSet,
+        ctx: _RunContext,
+    ) -> None:
+        ret = ast.return_var(call.func)
+        free = term_free_vars(term)
+        has_ret = ret in free
+        caller_locals = {
+            v
+            for v in free
+            if v != ret and not self._is_global(func_name, v)
+        }
+        if has_ret and not caller_locals:
+            summary = ctx.get_summary(("xfer", call.func, term, eff))
+            self._apply_summary(func_name, call, callee, summary, result, ctx)
+        elif has_ret:
+            # mixed caller/callee scopes: not expressible, widen
+            ctx.emit_coarse(self.oracle.class_of_term(func_name, term), eff)
+        else:
+            if self._callee_may_affect(call.func, func_name, term):
+                ctx.emit_coarse(self.oracle.class_of_term(func_name, term), eff)
+            else:
+                self._admit(func_name, term, eff, result, ctx)
+
+    def _apply_summary(
+        self,
+        func_name: str,
+        call: ir.RCall,
+        callee: ir.LoweredFunction,
+        summary: SummaryResult,
+        result: TermSet,
+        ctx: _RunContext,
+    ) -> None:
+        for cls, eff in summary.coarse:
+            ctx.emit_coarse(cls, eff)
+        mapping: Dict[str, Tuple[Optional[Term], object]] = {}
+        for param, arg in zip(callee.params, call.args):
+            if isinstance(arg, ir.VarAtom):
+                mapping[param] = (TStar(TVar(arg.name)), IVar(arg.name))
+            elif isinstance(arg, ir.ConstAtom):
+                mapping[param] = (None, atom_to_index(arg))
+            else:
+                mapping[param] = (None, None)
+        for term, eff in summary.terms:
+            unmapped = _unmap_term(term, mapping)
+            if unmapped is _DROPPED:
+                continue
+            if unmapped is _INEXPRESSIBLE:
+                ctx.emit_coarse(
+                    self.oracle.class_of_term(call.func, term), eff
+                )
+                continue
+            # residual callee vars mean the term is not caller-expressible
+            residual = {
+                v
+                for v in term_free_vars(unmapped)
+                if self._shadowed(call.func, v)
+                and not self._is_global(func_name, v)
+            }
+            if residual:
+                ctx.emit_coarse(self.oracle.class_of_term(call.func, term), eff)
+            else:
+                self._admit(func_name, unmapped, eff, result, ctx)
+
+    # ------------------------------------------------------------------
+    # callee write effects (for caller-scoped terms crossing a call)
+    # ------------------------------------------------------------------
+
+    def _callee_may_affect(self, callee_name: str, func_name: str, term: Term) -> bool:
+        written = self._written_classes_of(callee_name)
+        if written is None:
+            return True  # callee (transitively) calls unknown code
+        for cls in self._read_classes(func_name, term):
+            if cls in written:
+                return True
+        return False
+
+    def _read_classes(self, func_name: str, term: Term) -> Set[int]:
+        """Classes of every cell a term's evaluation reads (deref steps and
+        index variables)."""
+        classes: Set[int] = set()
+
+        def visit_term(t: Term) -> None:
+            if isinstance(t, TStar):
+                classes.add(self.oracle.class_of_term(func_name, t.inner))
+                visit_term(t.inner)
+            elif isinstance(t, TPlus):
+                visit_term(t.inner)
+            elif isinstance(t, TIndex):
+                visit_term(t.inner)
+                visit_index(t.index)
+
+        def visit_index(ie) -> None:
+            if isinstance(ie, IVar):
+                classes.add(
+                    self.pointsto.class_id(
+                        self.oracle.var_cell_class(func_name, ie.name)
+                    )
+                )
+            elif hasattr(ie, "left"):
+                visit_index(ie.left)
+                visit_index(ie.right)
+
+        visit_term(term)
+        return classes
+
+    def _written_classes_of(self, func_name: str) -> Optional[FrozenSet[int]]:
+        """Classes of cells *func_name* (transitively) writes; None = unknown."""
+        if func_name in self._written_classes:
+            return self._written_classes[func_name]
+        self._written_classes[func_name] = frozenset()  # cycle base
+        func = self.program.functions.get(func_name)
+        if func is None:
+            self._written_classes[func_name] = None
+            return None
+        classes: Set[int] = set()
+        unknown = False
+        for instr in ir.walk_instrs(func.body):
+            if isinstance(instr, ir.IStore):
+                ecr = self.pointsto.pts_class(
+                    self.pointsto.var_ecr(func_name, instr.addr)
+                )
+                classes.add(self.pointsto.class_id(ecr))
+            elif isinstance(instr, ir.IAssign):
+                if self._is_global(func_name, instr.dest):
+                    classes.add(self.pointsto.class_of_var(func_name, instr.dest))
+                if isinstance(instr.rhs, ir.RCall):
+                    sub = self._written_classes_of(instr.rhs.func)
+                    if sub is None:
+                        unknown = True
+                    else:
+                        classes.update(sub)
+        result: Optional[FrozenSet[int]] = None if unknown else frozenset(classes)
+        self._written_classes[func_name] = result
+        return result
+
+
+# A couple of private sentinels for unmapping outcomes.
+_DROPPED = object()
+_INEXPRESSIBLE = object()
+
+
+def _unmap_term(term: Term, mapping: Dict[str, Tuple[Optional[Term], object]]):
+    """Rewrite a callee-entry term into caller scope: every deref of a formal
+    becomes the actual's content; every index use of a formal becomes the
+    actual's integer value. Returns the rewritten term, ``_DROPPED`` (the
+    binding's content is null/const so the path is stuck or fresh), or
+    ``_INEXPRESSIBLE``."""
+    if isinstance(term, TVar):
+        return term
+    if isinstance(term, TStar):
+        inner = term.inner
+        if isinstance(inner, TVar) and inner.name in mapping:
+            ptr, _ = mapping[inner.name]
+            return ptr if ptr is not None else _DROPPED
+        sub = _unmap_term(inner, mapping)
+        if sub in (_DROPPED, _INEXPRESSIBLE):
+            return sub
+        return TStar(sub)
+    if isinstance(term, TPlus):
+        sub = _unmap_term(term.inner, mapping)
+        if sub in (_DROPPED, _INEXPRESSIBLE):
+            return sub
+        return TPlus(sub, term.fieldname)
+    if isinstance(term, TIndex):
+        sub = _unmap_term(term.inner, mapping)
+        if sub in (_DROPPED, _INEXPRESSIBLE):
+            return sub
+        index = _unmap_index(term.index, mapping)
+        if index is None:
+            return _INEXPRESSIBLE
+        return TIndex(sub, index)
+    raise TypeError(f"unknown term {term!r}")
+
+
+def _unmap_index(ie, mapping):
+    from ..locks.terms import IBin, IConst, IUnknown
+
+    if isinstance(ie, IVar):
+        if ie.name in mapping:
+            _, intval = mapping[ie.name]
+            return intval if intval is not None else IUnknown()
+        return ie
+    if isinstance(ie, (IConst, IUnknown)):
+        return ie
+    if isinstance(ie, IBin):
+        left = _unmap_index(ie.left, mapping)
+        right = _unmap_index(ie.right, mapping)
+        if left is None or right is None:
+            return None
+        return IBin(ie.op, left, right)
+    raise TypeError(f"unknown index {ie!r}")
+
+
+def _join_into(target: TermSet, source: TermSet) -> None:
+    for term, eff in source.items():
+        target[term] = eff_join(eff, target.get(term, RO))

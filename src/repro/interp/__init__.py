@@ -1,0 +1,20 @@
+"""Concurrent interpreter, concrete memory model, and soundness checkers."""
+
+from .checker import ProtectionChecker, ProtectionError, SerializabilityAuditor
+from .eval import ThreadExec, World
+from ..memory import Frame, Globals, Heap, InterpError, Loc, Obj, Value
+
+__all__ = [
+    "World",
+    "ThreadExec",
+    "Heap",
+    "Loc",
+    "Obj",
+    "Frame",
+    "Globals",
+    "Value",
+    "InterpError",
+    "ProtectionChecker",
+    "ProtectionError",
+    "SerializabilityAuditor",
+]

@@ -1,0 +1,30 @@
+"""Mini-C language front end: AST, lexer, parser, printer, and lowering."""
+
+from . import ast, ir
+from .lexer import LexError, Token, tokenize
+from .lower import LoweringError, lower_function, lower_program
+from .parser import ParseError, parse_expr, parse_program
+from .printer import (
+    print_instrs,
+    print_lowered_function,
+    print_lowered_program,
+    print_program,
+)
+
+__all__ = [
+    "ast",
+    "ir",
+    "tokenize",
+    "Token",
+    "LexError",
+    "parse_program",
+    "parse_expr",
+    "ParseError",
+    "lower_program",
+    "lower_function",
+    "LoweringError",
+    "print_program",
+    "print_instrs",
+    "print_lowered_function",
+    "print_lowered_program",
+]

@@ -1,0 +1,318 @@
+"""Abstract syntax for the mini-C input language (paper Figure 3).
+
+The surface language follows the paper's input language::
+
+    st ::= x = e | *x = e | if (b) st else st | while (b) st
+         | st ; st | atomic { st }
+    e  ::= x | *x | &x | x + i | new(n) | null | f(a0, ..., an)
+    b  ::= x == y | b || b | b && b | !b
+
+extended conservatively (see DESIGN.md section 5) with:
+
+* integer payloads and arithmetic (``IntLit``, ``Binary``, ``Unary``),
+* dynamic array indexing ``e[i]`` (needed for hash buckets),
+* struct declarations that name the field-offset domain ``F``,
+* ``return`` statements, modeled as assignments to ``ret_f`` per the paper.
+
+The surface AST is produced by :mod:`repro.lang.parser` and consumed by
+:mod:`repro.lang.lower`, which rewrites it into the simple statement forms
+used by the transfer functions of the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for mini-C types."""
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class PtrType(Type):
+    """Pointer to a struct (by name), to ``int``, or to another pointer."""
+
+    target: str  # struct name, "int", or a pointer spelled "T*"
+
+    def __str__(self) -> str:
+        return f"{self.target}*"
+
+
+INT = IntType()
+VOID = VoidType()
+
+
+def ptr(target: str) -> PtrType:
+    return PtrType(target)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for surface expressions."""
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Null(Expr):
+    def __str__(self) -> str:
+        return "null"
+
+
+@dataclass(frozen=True)
+class New(Expr):
+    """``new T`` — allocate a record with one cell per field of struct T.
+
+    ``new int`` allocates a single-cell object (its base cell holds the int).
+    """
+
+    type_name: str
+
+    def __str__(self) -> str:
+        return f"new {self.type_name}"
+
+
+@dataclass(frozen=True)
+class NewArray(Expr):
+    """``new T[n]`` — allocate an object with integer-offset cells 0..n-1."""
+
+    type_name: str
+    size: "Expr"
+
+    def __str__(self) -> str:
+        return f"new {self.type_name}[{self.size}]"
+
+
+@dataclass(frozen=True)
+class Deref(Expr):
+    """``*e`` — read the cell addressed by e (or, as an lvalue, that cell)."""
+
+    ptr: Expr
+
+    def __str__(self) -> str:
+        return f"*{self.ptr}"
+
+
+@dataclass(frozen=True)
+class AddrOf(Expr):
+    """``&lv`` — the address of an lvalue."""
+
+    lvalue: Expr
+
+    def __str__(self) -> str:
+        return f"&{self.lvalue}"
+
+
+@dataclass(frozen=True)
+class FieldAccess(Expr):
+    """``e->f`` — reads ``*(e + f)``; as an lvalue it is the cell ``e + f``."""
+
+    ptr: Expr
+    fieldname: str
+
+    def __str__(self) -> str:
+        return f"{self.ptr}->{self.fieldname}"
+
+
+@dataclass(frozen=True)
+class IndexAccess(Expr):
+    """``e[i]`` — reads ``*(e +[i])``; as an lvalue it is the cell ``e +[i]``."""
+
+    base: Expr
+    index: Expr
+
+    def __str__(self) -> str:
+        return f"{self.base}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # "-" | "!"
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.operand}"
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # + - * / % == != < <= > >= && ||
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class CallExpr(Expr):
+    func: str
+    args: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(str(a) for a in self.args)})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class for surface statements."""
+
+
+@dataclass
+class VarDecl(Stmt):
+    type: Type
+    name: str
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``lv = e`` where lv is Var, Deref, FieldAccess, or IndexAccess."""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """A call evaluated for its effects: ``f(a, b);``."""
+
+    expr: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: "Block"
+    orelse: Optional["Block"] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: "Block"
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Atomic(Stmt):
+    body: Block
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Nop(Stmt):
+    """``nop(n);`` — n ticks of simulated work (the paper's nop padding)."""
+
+    cost: int = 1
+
+
+# ---------------------------------------------------------------------------
+# Declarations / program
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StructDecl:
+    name: str
+    fields: List[Tuple[Type, str]]
+
+    @property
+    def field_names(self) -> List[str]:
+        return [name for _, name in self.fields]
+
+
+@dataclass
+class GlobalDecl:
+    type: Type
+    name: str
+
+
+@dataclass
+class Param:
+    type: Type
+    name: str
+
+
+@dataclass
+class FunctionDecl:
+    ret_type: Type
+    name: str
+    params: List[Param]
+    body: Block
+
+    @property
+    def param_names(self) -> List[str]:
+        return [p.name for p in self.params]
+
+
+@dataclass
+class Program:
+    structs: Dict[str, StructDecl] = field(default_factory=dict)
+    globals: Dict[str, GlobalDecl] = field(default_factory=dict)
+    functions: Dict[str, FunctionDecl] = field(default_factory=dict)
+
+    def struct(self, name: str) -> StructDecl:
+        return self.structs[name]
+
+    def function(self, name: str) -> FunctionDecl:
+        return self.functions[name]
+
+
+RET_PREFIX = "ret$"
+
+
+def return_var(func_name: str) -> str:
+    """The special variable ``ret_f`` modeling f's return value (paper 3.1)."""
+    return RET_PREFIX + func_name

@@ -1,0 +1,155 @@
+"""Programmatic AST construction helpers (used by tests and generators).
+
+A tiny DSL over :mod:`repro.lang.ast` that keeps test programs readable::
+
+    from repro.lang.builder import *
+
+    prog = program(
+        struct("node", ("node*", "next"), ("int", "v")),
+        global_("node*", "G"),
+        func("void", "f", [("node*", "p")],
+             assign(field(var("p"), "v"), lit(1))),
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+from . import ast
+
+
+def type_of(spec: Union[str, ast.Type]) -> ast.Type:
+    if isinstance(spec, ast.Type):
+        return spec
+    if spec == "int":
+        return ast.INT
+    if spec == "void":
+        return ast.VOID
+    if spec.endswith("*"):
+        return ast.PtrType(spec[:-1])
+    raise ValueError(f"bad type spec {spec!r} (structs must be pointers)")
+
+
+def var(name: str) -> ast.Var:
+    return ast.Var(name)
+
+
+def lit(value: int) -> ast.IntLit:
+    return ast.IntLit(value)
+
+
+def null() -> ast.Null:
+    return ast.Null()
+
+
+def new(type_name: str, size: Optional[ast.Expr] = None) -> ast.Expr:
+    if size is not None:
+        return ast.NewArray(type_name, size)
+    return ast.New(type_name)
+
+
+def deref(expr: ast.Expr) -> ast.Deref:
+    return ast.Deref(expr)
+
+
+def addr(lvalue: ast.Expr) -> ast.AddrOf:
+    return ast.AddrOf(lvalue)
+
+
+def field(ptr: ast.Expr, name: str) -> ast.FieldAccess:
+    return ast.FieldAccess(ptr, name)
+
+
+def index(base: ast.Expr, idx: ast.Expr) -> ast.IndexAccess:
+    return ast.IndexAccess(base, idx)
+
+
+def call(func_name: str, *args: ast.Expr) -> ast.CallExpr:
+    return ast.CallExpr(func_name, tuple(args))
+
+
+def binop(op: str, left: ast.Expr, right: ast.Expr) -> ast.Binary:
+    return ast.Binary(op, left, right)
+
+
+def neg(expr: ast.Expr) -> ast.Unary:
+    return ast.Unary("-", expr)
+
+
+def not_(expr: ast.Expr) -> ast.Unary:
+    return ast.Unary("!", expr)
+
+
+def decl(type_spec: str, name: str,
+         init: Optional[ast.Expr] = None) -> ast.VarDecl:
+    return ast.VarDecl(type_of(type_spec), name, init)
+
+
+def assign(target: ast.Expr, value: ast.Expr) -> ast.Assign:
+    return ast.Assign(target, value)
+
+
+def expr_stmt(expr: ast.CallExpr) -> ast.ExprStmt:
+    return ast.ExprStmt(expr)
+
+
+def block(*stmts: ast.Stmt) -> ast.Block:
+    return ast.Block(list(stmts))
+
+
+def if_(cond: ast.Expr, then: Iterable[ast.Stmt],
+        orelse: Optional[Iterable[ast.Stmt]] = None) -> ast.If:
+    return ast.If(
+        cond,
+        ast.Block(list(then)),
+        ast.Block(list(orelse)) if orelse is not None else None,
+    )
+
+
+def while_(cond: ast.Expr, *body: ast.Stmt) -> ast.While:
+    return ast.While(cond, ast.Block(list(body)))
+
+
+def atomic(*body: ast.Stmt) -> ast.Atomic:
+    return ast.Atomic(ast.Block(list(body)))
+
+
+def ret(value: Optional[ast.Expr] = None) -> ast.Return:
+    return ast.Return(value)
+
+
+def nop(cost: int = 1) -> ast.Nop:
+    return ast.Nop(cost)
+
+
+def struct(name: str, *fields: Tuple[str, str]) -> ast.StructDecl:
+    return ast.StructDecl(name, [(type_of(t), n) for t, n in fields])
+
+
+def global_(type_spec: str, name: str) -> ast.GlobalDecl:
+    return ast.GlobalDecl(type_of(type_spec), name)
+
+
+def func(ret_type: str, name: str, params: List[Tuple[str, str]],
+         *body: ast.Stmt) -> ast.FunctionDecl:
+    return ast.FunctionDecl(
+        type_of(ret_type),
+        name,
+        [ast.Param(type_of(t), n) for t, n in params],
+        ast.Block(list(body)),
+    )
+
+
+def program(*decls) -> ast.Program:
+    prog = ast.Program()
+    for decl_ in decls:
+        if isinstance(decl_, ast.StructDecl):
+            prog.structs[decl_.name] = decl_
+        elif isinstance(decl_, ast.GlobalDecl):
+            prog.globals[decl_.name] = decl_
+        elif isinstance(decl_, ast.FunctionDecl):
+            prog.functions[decl_.name] = decl_
+        else:
+            raise TypeError(f"unexpected declaration {decl_!r}")
+    return prog

@@ -1,0 +1,326 @@
+"""Lowered intermediate representation.
+
+Lowering rewrites surface programs into the *simple statement forms* on which
+the paper's transfer functions (Figure 4) are defined::
+
+    x = y        x = y + i      x = &y       x = *y
+    x = new      x = null       *x = y       x = f(a0..an)
+
+extended with integer constants/arithmetic, dynamic index address computation
+``x = y +[ z ]``, array allocation, and ``nop`` padding. Control flow stays
+structured (if / while / atomic); the CFG builder flattens it into program
+points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from . import ast
+
+
+# ---------------------------------------------------------------------------
+# Atoms: trivially evaluable operands
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Atom:
+    pass
+
+
+@dataclass(frozen=True)
+class VarAtom(Atom):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ConstAtom(Atom):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class NullAtom(Atom):
+    def __str__(self) -> str:
+        return "null"
+
+
+# ---------------------------------------------------------------------------
+# Right-hand sides of simple assignments
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RHS:
+    pass
+
+
+@dataclass(frozen=True)
+class RVar(RHS):
+    """x = y"""
+
+    src: str
+
+    def __str__(self) -> str:
+        return self.src
+
+
+@dataclass(frozen=True)
+class RAddrVar(RHS):
+    """x = &y"""
+
+    src: str
+
+    def __str__(self) -> str:
+        return f"&{self.src}"
+
+
+@dataclass(frozen=True)
+class RLoad(RHS):
+    """x = *y"""
+
+    src: str
+
+    def __str__(self) -> str:
+        return f"*{self.src}"
+
+
+@dataclass(frozen=True)
+class RFieldAddr(RHS):
+    """x = y + f  (address of field f of the record y points to)"""
+
+    src: str
+    fieldname: str
+
+    def __str__(self) -> str:
+        return f"{self.src} + .{self.fieldname}"
+
+
+@dataclass(frozen=True)
+class RIndexAddr(RHS):
+    """x = y +[ i ]  (address of cell i of the array y points to)"""
+
+    src: str
+    index: Atom
+
+    def __str__(self) -> str:
+        return f"{self.src} +[{self.index}]"
+
+
+@dataclass(frozen=True)
+class RNew(RHS):
+    """x = new T"""
+
+    type_name: str
+
+    def __str__(self) -> str:
+        return f"new {self.type_name}"
+
+
+@dataclass(frozen=True)
+class RNewArray(RHS):
+    """x = new T[n]"""
+
+    type_name: str
+    size: Atom
+
+    def __str__(self) -> str:
+        return f"new {self.type_name}[{self.size}]"
+
+
+@dataclass(frozen=True)
+class RNull(RHS):
+    def __str__(self) -> str:
+        return "null"
+
+
+@dataclass(frozen=True)
+class RConst(RHS):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class RArith(RHS):
+    """x = a op b (or unary: b is None). Comparison ops yield 0/1."""
+
+    op: str
+    left: Atom
+    right: Optional[Atom] = None
+
+    def __str__(self) -> str:
+        if self.right is None:
+            return f"{self.op}{self.left}"
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class RCall(RHS):
+    func: str
+    args: Tuple[Atom, ...]
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(str(a) for a in self.args)})"
+
+
+# ---------------------------------------------------------------------------
+# Instructions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Cond:
+    """A branch condition over atoms: ``left op right``."""
+
+    op: str  # == != < <= > >=
+    left: Atom
+    right: Atom
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass
+class Instr:
+    pass
+
+
+@dataclass
+class IAssign(Instr):
+    dest: str
+    rhs: RHS
+    # Allocation-site id, set by the pointer analysis numbering pass when
+    # rhs is RNew/RNewArray; the interpreter tags heap objects with it so the
+    # runtime checker can map concrete cells to points-to classes.
+    site: Optional[int] = None
+
+    def __str__(self) -> str:
+        return f"{self.dest} = {self.rhs}"
+
+
+@dataclass
+class IStore(Instr):
+    """``*addr = value`` where *addr* is a variable holding a cell address."""
+
+    addr: str
+    value: Atom
+
+    def __str__(self) -> str:
+        return f"*{self.addr} = {self.value}"
+
+
+@dataclass
+class INop(Instr):
+    cost: int = 1
+
+    def __str__(self) -> str:
+        return f"nop({self.cost})"
+
+
+@dataclass
+class IReturn(Instr):
+    value: Optional[Atom] = None
+
+    def __str__(self) -> str:
+        return f"return {self.value}" if self.value is not None else "return"
+
+
+@dataclass
+class IIf(Instr):
+    cond: Cond
+    then: List[Instr] = field(default_factory=list)
+    orelse: List[Instr] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"if ({self.cond}) ..."
+
+
+@dataclass
+class IWhile(Instr):
+    """``while (cond) body`` — lowering re-evaluates cond temps at body end."""
+
+    cond: Cond
+    body: List[Instr] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"while ({self.cond}) ..."
+
+
+@dataclass
+class IAtomic(Instr):
+    section_id: str
+    body: List[Instr] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"atomic[{self.section_id}] ..."
+
+
+@dataclass
+class IAcquireAll(Instr):
+    """Inserted by the transformation: acquire the locks for a section."""
+
+    section_id: str
+    locks: tuple  # tuple of runtime lock descriptors (inference.transform)
+
+    def __str__(self) -> str:
+        return f"acquireAll[{self.section_id}]({len(self.locks)} locks)"
+
+
+@dataclass
+class IReleaseAll(Instr):
+    section_id: str
+
+    def __str__(self) -> str:
+        return f"releaseAll[{self.section_id}]"
+
+
+# ---------------------------------------------------------------------------
+# Lowered functions / programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LoweredFunction:
+    name: str
+    params: List[str]
+    body: List[Instr]
+    ret_type: ast.Type
+    locals: Dict[str, ast.Type] = field(default_factory=dict)
+    param_types: List[ast.Type] = field(default_factory=list)
+
+
+@dataclass
+class LoweredProgram:
+    structs: Dict[str, ast.StructDecl]
+    globals: Dict[str, ast.GlobalDecl]
+    functions: Dict[str, LoweredFunction]
+    source: Optional[ast.Program] = None
+
+    def function(self, name: str) -> LoweredFunction:
+        return self.functions[name]
+
+
+def walk_instrs(instrs: List[Instr]):
+    """Yield every instruction in *instrs*, recursing into control flow."""
+    for instr in instrs:
+        yield instr
+        if isinstance(instr, IIf):
+            yield from walk_instrs(instr.then)
+            yield from walk_instrs(instr.orelse)
+        elif isinstance(instr, IWhile):
+            yield from walk_instrs(instr.body)
+        elif isinstance(instr, IAtomic):
+            yield from walk_instrs(instr.body)
+
+
+def count_instrs(instrs: List[Instr]) -> int:
+    return sum(1 for _ in walk_instrs(instrs))

@@ -1,0 +1,98 @@
+"""Tokenizer for the mini-C surface syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {
+    "struct",
+    "int",
+    "void",
+    "if",
+    "else",
+    "while",
+    "atomic",
+    "return",
+    "new",
+    "null",
+    "nop",
+}
+
+TWO_CHAR_OPS = {"==", "!=", "<=", ">=", "&&", "||", "->"}
+ONE_CHAR_OPS = set("+-*/%<>=!&(){}[];,.")
+
+
+class LexError(Exception):
+    """Raised when the input contains an unrecognizable character."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "int" | "kw" | "op" | "eof"
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line={self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split *source* into a token list ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    i, n, line = 0, len(source), 1
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token("int", source[i:j], line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_" or ch == "$":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_$"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        if source[i : i + 2] in TWO_CHAR_OPS:
+            tokens.append(Token("op", source[i : i + 2], line))
+            i += 2
+            continue
+        if ch in ONE_CHAR_OPS:
+            tokens.append(Token("op", ch, line))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def token_stream(source: str) -> Iterator[Token]:
+    return iter(tokenize(source))

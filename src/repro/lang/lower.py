@@ -1,0 +1,307 @@
+"""Lowering: surface AST -> simple-statement IR (paper Figure 4 forms).
+
+Every compound expression is decomposed into temporaries so that each
+instruction matches one of the simple forms the transfer functions are
+defined over. Short-circuit boolean operators become nested ``if``
+statements; ``while`` conditions are evaluated before the loop and
+re-evaluated at the end of the body (classic loop rotation), so the loop
+guard itself only inspects atoms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from . import ast, ir
+
+COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class LoweringError(Exception):
+    pass
+
+
+class _FunctionLowerer:
+    def __init__(self, program: ast.Program, func: ast.FunctionDecl) -> None:
+        self.program = program
+        self.func = func
+        self.temp_count = 0
+        self.atomic_count = 0
+        self.locals: Dict[str, ast.Type] = {}
+        for param in func.params:
+            self.locals[param.name] = param.type
+
+    def fresh(self) -> str:
+        self.temp_count += 1
+        return f"$t{self.temp_count}"
+
+    # -- expressions ---------------------------------------------------------
+
+    def lower_expr(self, expr: ast.Expr, out: List[ir.Instr]) -> ir.Atom:
+        """Lower *expr*, appending instructions to *out*; return its atom."""
+        rhs = self.lower_expr_rhs(expr, out)
+        if isinstance(rhs, ir.Atom):
+            return rhs
+        temp = self.fresh()
+        out.append(ir.IAssign(temp, rhs))
+        return ir.VarAtom(temp)
+
+    def lower_to_var(self, expr: ast.Expr, out: List[ir.Instr]) -> str:
+        """Lower *expr* and ensure the result lives in a variable."""
+        atom = self.lower_expr(expr, out)
+        if isinstance(atom, ir.VarAtom):
+            return atom.name
+        temp = self.fresh()
+        if isinstance(atom, ir.NullAtom):
+            out.append(ir.IAssign(temp, ir.RNull()))
+        else:
+            out.append(ir.IAssign(temp, ir.RConst(atom.value)))
+        return temp
+
+    def lower_expr_rhs(
+        self, expr: ast.Expr, out: List[ir.Instr]
+    ) -> Union[ir.RHS, ir.Atom]:
+        """Lower *expr* to either an atom or a simple RHS (no extra copy)."""
+        if isinstance(expr, ast.Var):
+            return ir.VarAtom(expr.name)
+        if isinstance(expr, ast.IntLit):
+            return ir.ConstAtom(expr.value)
+        if isinstance(expr, ast.Null):
+            return ir.NullAtom()
+        if isinstance(expr, ast.New):
+            return ir.RNew(expr.type_name)
+        if isinstance(expr, ast.NewArray):
+            size = self.lower_expr(expr.size, out)
+            return ir.RNewArray(expr.type_name, size)
+        if isinstance(expr, ast.Deref):
+            src = self.lower_to_var(expr.ptr, out)
+            return ir.RLoad(src)
+        if isinstance(expr, ast.FieldAccess):
+            addr = self.lower_lvalue_addr(expr, out)
+            return ir.RLoad(addr)
+        if isinstance(expr, ast.IndexAccess):
+            addr = self.lower_lvalue_addr(expr, out)
+            return ir.RLoad(addr)
+        if isinstance(expr, ast.AddrOf):
+            return self.lower_addr_rhs(expr.lvalue, out)
+        if isinstance(expr, ast.CallExpr):
+            args = tuple(self.lower_expr(a, out) for a in expr.args)
+            return ir.RCall(expr.func, args)
+        if isinstance(expr, ast.Unary):
+            if expr.op == "!":
+                operand = self.lower_expr(expr.operand, out)
+                return ir.RArith("==", operand, ir.ConstAtom(0))
+            if expr.op == "-":
+                operand = self.lower_expr(expr.operand, out)
+                return ir.RArith("-", ir.ConstAtom(0), operand)
+            raise LoweringError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("&&", "||"):
+                return self.lower_shortcircuit(expr, out)
+            left = self.lower_expr(expr.left, out)
+            right = self.lower_expr(expr.right, out)
+            return ir.RArith(expr.op, left, right)
+        raise LoweringError(f"cannot lower expression {expr!r}")
+
+    def lower_shortcircuit(self, expr: ast.Binary, out: List[ir.Instr]) -> ir.Atom:
+        """``a && b`` / ``a || b`` with short-circuit evaluation."""
+        result = self.fresh()
+        left = self.lower_expr(expr.left, out)
+        out.append(ir.IAssign(result, ir.RArith("!=", left, ir.ConstAtom(0))))
+        branch: List[ir.Instr] = []
+        right = self.lower_expr(expr.right, branch)
+        branch.append(ir.IAssign(result, ir.RArith("!=", right, ir.ConstAtom(0))))
+        if expr.op == "&&":
+            cond = ir.Cond("!=", ir.VarAtom(result), ir.ConstAtom(0))
+        else:
+            cond = ir.Cond("==", ir.VarAtom(result), ir.ConstAtom(0))
+        out.append(ir.IIf(cond, branch, []))
+        return ir.VarAtom(result)
+
+    def lower_addr_rhs(
+        self, lvalue: ast.Expr, out: List[ir.Instr]
+    ) -> Union[ir.RHS, ir.Atom]:
+        """Lower ``&lvalue`` to an address-producing RHS or atom."""
+        if isinstance(lvalue, ast.Var):
+            return ir.RAddrVar(lvalue.name)
+        if isinstance(lvalue, ast.Deref):
+            # &*e == e
+            return self.lower_expr_rhs(lvalue.ptr, out)
+        if isinstance(lvalue, ast.FieldAccess):
+            base = self.lower_to_var(lvalue.ptr, out)
+            return ir.RFieldAddr(base, lvalue.fieldname)
+        if isinstance(lvalue, ast.IndexAccess):
+            base = self.lower_to_var(lvalue.base, out)
+            index = self.lower_expr(lvalue.index, out)
+            return ir.RIndexAddr(base, index)
+        raise LoweringError(f"cannot take address of {lvalue!r}")
+
+    def lower_lvalue_addr(self, lvalue: ast.Expr, out: List[ir.Instr]) -> str:
+        """Lower an lvalue to a variable holding the target cell's address."""
+        rhs = self.lower_addr_rhs(lvalue, out)
+        if isinstance(rhs, ir.VarAtom):
+            return rhs.name
+        if isinstance(rhs, ir.Atom):
+            raise LoweringError(f"lvalue address is not a variable: {lvalue!r}")
+        temp = self.fresh()
+        out.append(ir.IAssign(temp, rhs))
+        return temp
+
+    # -- conditions -----------------------------------------------------------
+
+    def lower_cond(
+        self, expr: ast.Expr, out: List[ir.Instr]
+    ) -> Tuple[ir.Cond, Optional[str]]:
+        """Lower a boolean condition.
+
+        Returns ``(cond, temp)`` where *cond* tests atoms available after the
+        instructions appended to *out*. If the condition needed computation,
+        *temp* names the variable holding the truth value (used by while-loop
+        re-evaluation); plain comparisons over atoms avoid the extra temp.
+        """
+        if isinstance(expr, ast.Binary) and expr.op in COMPARISON_OPS:
+            left_simple = isinstance(expr.left, (ast.Var, ast.IntLit, ast.Null))
+            right_simple = isinstance(expr.right, (ast.Var, ast.IntLit, ast.Null))
+            if left_simple and right_simple:
+                left = self.lower_expr(expr.left, out)
+                right = self.lower_expr(expr.right, out)
+                return ir.Cond(expr.op, left, right), None
+        atom = self.lower_expr(expr, out)
+        if isinstance(atom, ir.VarAtom):
+            return ir.Cond("!=", atom, ir.ConstAtom(0)), atom.name
+        return ir.Cond("!=", atom, ir.ConstAtom(0)), None
+
+    # -- statements -----------------------------------------------------------
+
+    def lower_block(self, block: ast.Block, out: List[ir.Instr]) -> None:
+        for stmt in block.stmts:
+            self.lower_stmt(stmt, out)
+
+    def lower_stmt(self, stmt: ast.Stmt, out: List[ir.Instr]) -> None:
+        if isinstance(stmt, ast.Block):
+            self.lower_block(stmt, out)
+        elif isinstance(stmt, ast.VarDecl):
+            self.locals[stmt.name] = stmt.type
+            if stmt.init is not None:
+                self.lower_assign_to_var(stmt.name, stmt.init, out)
+        elif isinstance(stmt, ast.Assign):
+            self.lower_assign(stmt, out)
+        elif isinstance(stmt, ast.ExprStmt):
+            if not isinstance(stmt.expr, ast.CallExpr):
+                raise LoweringError("expression statements must be calls")
+            rhs = self.lower_expr_rhs(stmt.expr, out)
+            out.append(ir.IAssign(self.fresh(), rhs))
+        elif isinstance(stmt, ast.If):
+            cond, _ = self.lower_cond(stmt.cond, out)
+            then: List[ir.Instr] = []
+            self.lower_block(stmt.then, then)
+            orelse: List[ir.Instr] = []
+            if stmt.orelse is not None:
+                self.lower_block(stmt.orelse, orelse)
+            out.append(ir.IIf(cond, then, orelse))
+        elif isinstance(stmt, ast.While):
+            self.lower_while(stmt, out)
+        elif isinstance(stmt, ast.Atomic):
+            self.atomic_count += 1
+            section_id = f"{self.func.name}#{self.atomic_count}"
+            body: List[ir.Instr] = []
+            self.lower_block(stmt.body, body)
+            out.append(ir.IAtomic(section_id, body))
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                out.append(ir.IReturn(None))
+            else:
+                atom = self.lower_expr(stmt.value, out)
+                out.append(ir.IReturn(atom))
+        elif isinstance(stmt, ast.Nop):
+            out.append(ir.INop(stmt.cost))
+        else:
+            raise LoweringError(f"cannot lower statement {stmt!r}")
+
+    def lower_while(self, stmt: ast.While, out: List[ir.Instr]) -> None:
+        header: List[ir.Instr] = []
+        cond, _ = self.lower_cond(stmt.cond, header)
+        out.extend(header)
+        body: List[ir.Instr] = []
+        self.lower_block(stmt.body, body)
+        # Re-evaluate the condition (into the same temps) at the body end:
+        # a structural copy of the header keeps temp names aligned with the
+        # loop guard regardless of how the condition was lowered.
+        body.extend(copy_instrs(header))
+        out.append(ir.IWhile(cond, body))
+
+    def lower_assign(self, stmt: ast.Assign, out: List[ir.Instr]) -> None:
+        target = stmt.target
+        if isinstance(target, ast.Var):
+            self.lower_assign_to_var(target.name, stmt.value, out)
+            return
+        addr = self.lower_lvalue_addr(target, out)
+        value = self.lower_expr(stmt.value, out)
+        out.append(ir.IStore(addr, value))
+
+    def lower_assign_to_var(
+        self, name: str, value: ast.Expr, out: List[ir.Instr]
+    ) -> None:
+        rhs = self.lower_expr_rhs(value, out)
+        if isinstance(rhs, ir.VarAtom):
+            out.append(ir.IAssign(name, ir.RVar(rhs.name)))
+        elif isinstance(rhs, ir.ConstAtom):
+            out.append(ir.IAssign(name, ir.RConst(rhs.value)))
+        elif isinstance(rhs, ir.NullAtom):
+            out.append(ir.IAssign(name, ir.RNull()))
+        else:
+            out.append(ir.IAssign(name, rhs))
+
+
+def copy_instrs(instrs: List[ir.Instr]) -> List[ir.Instr]:
+    """Structural copy of a list of instructions (fresh instruction objects,
+    shared immutable RHS/atom/cond nodes)."""
+    out: List[ir.Instr] = []
+    for instr in instrs:
+        if isinstance(instr, ir.IAssign):
+            out.append(ir.IAssign(instr.dest, instr.rhs))
+        elif isinstance(instr, ir.IStore):
+            out.append(ir.IStore(instr.addr, instr.value))
+        elif isinstance(instr, ir.INop):
+            out.append(ir.INop(instr.cost))
+        elif isinstance(instr, ir.IReturn):
+            out.append(ir.IReturn(instr.value))
+        elif isinstance(instr, ir.IIf):
+            out.append(
+                ir.IIf(instr.cond, copy_instrs(instr.then), copy_instrs(instr.orelse))
+            )
+        elif isinstance(instr, ir.IWhile):
+            out.append(ir.IWhile(instr.cond, copy_instrs(instr.body)))
+        elif isinstance(instr, ir.IAtomic):
+            raise LoweringError("atomic sections cannot appear in a condition")
+        else:
+            raise LoweringError(f"cannot copy instruction {instr!r}")
+    return out
+
+
+def lower_function(program: ast.Program, func: ast.FunctionDecl) -> ir.LoweredFunction:
+    lowerer = _FunctionLowerer(program, func)
+    body: List[ir.Instr] = []
+    lowerer.lower_block(func.body, body)
+    return ir.LoweredFunction(
+        name=func.name,
+        params=func.param_names,
+        body=body,
+        ret_type=func.ret_type,
+        locals=dict(lowerer.locals),
+        param_types=[p.type for p in func.params],
+    )
+
+
+def lower_program(program: ast.Program) -> ir.LoweredProgram:
+    """Lower every function of *program* to the simple-statement IR."""
+    functions = {
+        name: lower_function(program, func)
+        for name, func in program.functions.items()
+    }
+    return ir.LoweredProgram(
+        structs=dict(program.structs),
+        globals=dict(program.globals),
+        functions=functions,
+        source=program,
+    )

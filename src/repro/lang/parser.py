@@ -1,0 +1,347 @@
+"""Recursive-descent parser for the mini-C surface syntax.
+
+Grammar (roughly)::
+
+    program   := (struct_decl | global_decl | function_decl)*
+    struct    := "struct" IDENT "{" (type IDENT ";")* "}"
+    global    := type IDENT ";"
+    function  := type IDENT "(" params ")" block
+    block     := "{" stmt* "}"
+    stmt      := decl | assign | if | while | atomic | return | call ";"
+               | "nop" "(" INT ")" ";" | block
+    assign    := lvalue "=" expr ";"
+    lvalue    := unary  (restricted to Var / Deref / FieldAccess / IndexAccess)
+
+Expressions use standard C precedence:
+``||  &&  ==/!=  </<=/>/>=  +/-  *,/,%  unary(* & ! -)  postfix(-> [])``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"line {token.line}: {message} (got {token.text!r})")
+        self.token = token
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, text: str) -> bool:
+        return self.peek().text == text and self.peek().kind in ("op", "kw")
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            raise ParseError(f"expected {text!r}", self.peek())
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        tok = self.peek()
+        if tok.kind != "ident":
+            raise ParseError("expected identifier", tok)
+        return self.advance().text
+
+    # -- types --------------------------------------------------------------
+
+    def looks_like_type(self) -> bool:
+        tok = self.peek()
+        if tok.text in ("int", "void"):
+            return True
+        # "name *" or "name* name" style declarations: IDENT followed by '*'
+        return tok.kind == "ident" and self.peek(1).text == "*"
+
+    def parse_type(self) -> ast.Type:
+        tok = self.peek()
+        if tok.text == "void":
+            self.advance()
+            return ast.VOID
+        if tok.text == "int":
+            self.advance()
+            base: ast.Type = ast.INT
+            name = "int"
+        elif tok.kind == "ident":
+            name = self.advance().text
+            base = ast.PtrType(name)  # a bare struct name only appears with *
+            if not self.check("*"):
+                raise ParseError("struct values must be pointers (use T*)", self.peek())
+        else:
+            raise ParseError("expected type", tok)
+        # collect pointer stars
+        while self.accept("*"):
+            base = ast.PtrType(name)
+            name = name + "*"
+        return base
+
+    # -- program ------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while self.peek().kind != "eof":
+            if self.check("struct"):
+                decl = self.parse_struct()
+                program.structs[decl.name] = decl
+            else:
+                self.parse_global_or_function(program)
+        return program
+
+    def parse_struct(self) -> ast.StructDecl:
+        self.expect("struct")
+        name = self.expect_ident()
+        self.expect("{")
+        fields: List = []
+        while not self.check("}"):
+            ftype = self.parse_type()
+            fname = self.expect_ident()
+            self.expect(";")
+            fields.append((ftype, fname))
+        self.expect("}")
+        self.accept(";")
+        return ast.StructDecl(name, fields)
+
+    def parse_global_or_function(self, program: ast.Program) -> None:
+        decl_type = self.parse_type()
+        name = self.expect_ident()
+        if self.accept("("):
+            params: List[ast.Param] = []
+            if not self.check(")"):
+                while True:
+                    ptype = self.parse_type()
+                    pname = self.expect_ident()
+                    params.append(ast.Param(ptype, pname))
+                    if not self.accept(","):
+                        break
+            self.expect(")")
+            body = self.parse_block()
+            program.functions[name] = ast.FunctionDecl(decl_type, name, params, body)
+        else:
+            self.expect(";")
+            program.globals[name] = ast.GlobalDecl(decl_type, name)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        self.expect("{")
+        stmts: List[ast.Stmt] = []
+        while not self.check("}"):
+            stmts.append(self.parse_stmt())
+        self.expect("}")
+        return ast.Block(stmts)
+
+    def parse_stmt(self) -> ast.Stmt:
+        if self.check("{"):
+            return self.parse_block()
+        if self.check("if"):
+            return self.parse_if()
+        if self.check("while"):
+            self.advance()
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            body = self.parse_stmt_as_block()
+            return ast.While(cond, body)
+        if self.check("atomic"):
+            self.advance()
+            return ast.Atomic(self.parse_block())
+        if self.check("return"):
+            self.advance()
+            value = None if self.check(";") else self.parse_expr()
+            self.expect(";")
+            return ast.Return(value)
+        if self.check("nop"):
+            self.advance()
+            self.expect("(")
+            tok = self.peek()
+            if tok.kind != "int":
+                raise ParseError("nop expects an integer literal", tok)
+            cost = int(self.advance().text)
+            self.expect(")")
+            self.expect(";")
+            return ast.Nop(cost)
+        if self.looks_like_type():
+            decl_type = self.parse_type()
+            name = self.expect_ident()
+            init = None
+            if self.accept("="):
+                init = self.parse_expr()
+            self.expect(";")
+            return ast.VarDecl(decl_type, name, init)
+        # assignment or call statement
+        expr = self.parse_expr()
+        if self.accept("="):
+            value = self.parse_expr()
+            self.expect(";")
+            if not isinstance(
+                expr, (ast.Var, ast.Deref, ast.FieldAccess, ast.IndexAccess)
+            ):
+                raise ParseError("invalid assignment target", self.peek())
+            return ast.Assign(expr, value)
+        self.expect(";")
+        if not isinstance(expr, ast.CallExpr):
+            raise ParseError("expression statement must be a call", self.peek())
+        return ast.ExprStmt(expr)
+
+    def parse_stmt_as_block(self) -> ast.Block:
+        stmt = self.parse_stmt()
+        return stmt if isinstance(stmt, ast.Block) else ast.Block([stmt])
+
+    def parse_if(self) -> ast.If:
+        self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then = self.parse_stmt_as_block()
+        orelse: Optional[ast.Block] = None
+        if self.accept("else"):
+            if self.check("if"):
+                orelse = ast.Block([self.parse_if()])
+            else:
+                orelse = self.parse_stmt_as_block()
+        return ast.If(cond, then, orelse)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.check("||"):
+            self.advance()
+            left = ast.Binary("||", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_equality()
+        while self.check("&&"):
+            self.advance()
+            left = ast.Binary("&&", left, self.parse_equality())
+        return left
+
+    def parse_equality(self) -> ast.Expr:
+        left = self.parse_relational()
+        while self.peek().text in ("==", "!="):
+            op = self.advance().text
+            left = ast.Binary(op, left, self.parse_relational())
+        return left
+
+    def parse_relational(self) -> ast.Expr:
+        left = self.parse_additive()
+        while self.peek().text in ("<", "<=", ">", ">="):
+            op = self.advance().text
+            left = ast.Binary(op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while self.peek().text in ("+", "-"):
+            op = self.advance().text
+            left = ast.Binary(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.peek().text in ("*", "/", "%"):
+            op = self.advance().text
+            left = ast.Binary(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.accept("*"):
+            return ast.Deref(self.parse_unary())
+        if self.accept("&"):
+            operand = self.parse_unary()
+            if not isinstance(
+                operand, (ast.Var, ast.Deref, ast.FieldAccess, ast.IndexAccess)
+            ):
+                raise ParseError("cannot take the address of this expression", self.peek())
+            return ast.AddrOf(operand)
+        if self.accept("!"):
+            return ast.Unary("!", self.parse_unary())
+        if self.accept("-"):
+            return ast.Unary("-", self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.accept("->"):
+                expr = ast.FieldAccess(expr, self.expect_ident())
+            elif self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                expr = ast.IndexAccess(expr, index)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.advance()
+            return ast.IntLit(int(tok.text))
+        if self.accept("null"):
+            return ast.Null()
+        if self.accept("new"):
+            type_name = "int" if self.accept("int") else self.expect_ident()
+            while self.accept("*"):
+                type_name += "*"
+            if self.accept("["):
+                size = self.parse_expr()
+                self.expect("]")
+                return ast.NewArray(type_name, size)
+            return ast.New(type_name)
+        if self.accept("("):
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if tok.kind == "ident":
+            name = self.advance().text
+            if self.accept("("):
+                args: List[ast.Expr] = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return ast.CallExpr(name, tuple(args))
+            return ast.Var(name)
+        raise ParseError("expected expression", tok)
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse mini-C *source* text into a :class:`repro.lang.ast.Program`."""
+    return Parser(source).parse_program()
+
+
+def parse_expr(source: str) -> ast.Expr:
+    """Parse a single expression (used by tests and examples)."""
+    parser = Parser(source)
+    expr = parser.parse_expr()
+    if parser.peek().kind != "eof":
+        raise ParseError("trailing input after expression", parser.peek())
+    return expr

@@ -1,0 +1,134 @@
+"""Pretty printers: surface AST -> mini-C source, and lowered IR -> text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast, ir
+
+
+def _indent(lines: List[str], depth: int) -> List[str]:
+    pad = "  " * depth
+    return [pad + line for line in lines]
+
+
+def print_type(t: ast.Type) -> str:
+    return str(t)
+
+
+def print_expr(expr: ast.Expr) -> str:
+    return str(expr)
+
+
+def print_stmt(stmt: ast.Stmt, depth: int = 0) -> List[str]:
+    pad = "  " * depth
+    if isinstance(stmt, ast.VarDecl):
+        init = f" = {stmt.init}" if stmt.init is not None else ""
+        return [f"{pad}{print_type(stmt.type)} {stmt.name}{init};"]
+    if isinstance(stmt, ast.Assign):
+        return [f"{pad}{stmt.target} = {stmt.value};"]
+    if isinstance(stmt, ast.ExprStmt):
+        return [f"{pad}{stmt.expr};"]
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({stmt.cond}) {{"]
+        for inner in stmt.then.stmts:
+            lines.extend(print_stmt(inner, depth + 1))
+        if stmt.orelse is not None:
+            lines.append(f"{pad}}} else {{")
+            for inner in stmt.orelse.stmts:
+                lines.extend(print_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"{pad}while ({stmt.cond}) {{"]
+        for inner in stmt.body.stmts:
+            lines.extend(print_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.Atomic):
+        lines = [f"{pad}atomic {{"]
+        for inner in stmt.body.stmts:
+            lines.extend(print_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.Block):
+        lines = [f"{pad}{{"]
+        for inner in stmt.stmts:
+            lines.extend(print_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {stmt.value};"]
+    if isinstance(stmt, ast.Nop):
+        return [f"{pad}nop({stmt.cost});"]
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def print_program(program: ast.Program) -> str:
+    """Render *program* as mini-C source (round-trips through the parser)."""
+    lines: List[str] = []
+    for struct in program.structs.values():
+        lines.append(f"struct {struct.name} {{")
+        for ftype, fname in struct.fields:
+            lines.append(f"  {print_type(ftype)} {fname};")
+        lines.append("}")
+        lines.append("")
+    for glob in program.globals.values():
+        lines.append(f"{print_type(glob.type)} {glob.name};")
+    if program.globals:
+        lines.append("")
+    for func in program.functions.values():
+        params = ", ".join(f"{print_type(p.type)} {p.name}" for p in func.params)
+        lines.append(f"{print_type(func.ret_type)} {func.name}({params}) {{")
+        for stmt in func.body.stmts:
+            lines.extend(print_stmt(stmt, 1))
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Lowered IR printer
+# ---------------------------------------------------------------------------
+
+
+def print_instrs(instrs: List[ir.Instr], depth: int = 0) -> List[str]:
+    pad = "  " * depth
+    lines: List[str] = []
+    for instr in instrs:
+        if isinstance(instr, ir.IIf):
+            lines.append(f"{pad}if ({instr.cond}) {{")
+            lines.extend(print_instrs(instr.then, depth + 1))
+            if instr.orelse:
+                lines.append(f"{pad}}} else {{")
+                lines.extend(print_instrs(instr.orelse, depth + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(instr, ir.IWhile):
+            lines.append(f"{pad}while ({instr.cond}) {{")
+            lines.extend(print_instrs(instr.body, depth + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(instr, ir.IAtomic):
+            lines.append(f"{pad}atomic [{instr.section_id}] {{")
+            lines.extend(print_instrs(instr.body, depth + 1))
+            lines.append(f"{pad}}}")
+        elif isinstance(instr, ir.IAcquireAll):
+            descs = ", ".join(str(lock) for lock in instr.locks)
+            lines.append(f"{pad}acquireAll({{{descs}}});")
+        elif isinstance(instr, ir.IReleaseAll):
+            lines.append(f"{pad}releaseAll();")
+        else:
+            lines.append(f"{pad}{instr};")
+    return lines
+
+
+def print_lowered_function(func: ir.LoweredFunction) -> str:
+    header = f"{func.ret_type} {func.name}({', '.join(func.params)}) {{"
+    return "\n".join([header] + print_instrs(func.body, 1) + ["}"])
+
+
+def print_lowered_program(program: ir.LoweredProgram) -> str:
+    return "\n\n".join(
+        print_lowered_function(func) for func in program.functions.values()
+    )

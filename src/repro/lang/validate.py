@@ -1,0 +1,177 @@
+"""Static well-formedness checks for mini-C programs.
+
+Runs before lowering and reports user-friendly diagnostics: unknown
+functions and call-arity mismatches, unknown struct fields, references to
+undeclared structs in types, duplicate definitions, and `return` statements
+inside atomic sections (unsupported, see CFG builder). The whole-program
+analyses assume these hold; the validator turns violations into errors
+instead of surprising downstream behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from . import ast
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    message: str
+    function: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = f" (in {self.function})" if self.function else ""
+        return self.message + where
+
+
+class ValidationError(Exception):
+    def __init__(self, diagnostics: List[Diagnostic]) -> None:
+        super().__init__("\n".join(str(d) for d in diagnostics))
+        self.diagnostics = diagnostics
+
+
+class _Validator:
+    def __init__(self, program: ast.Program,
+                 external_functions: Set[str]) -> None:
+        self.program = program
+        self.externals = external_functions
+        self.diagnostics: List[Diagnostic] = []
+        self.field_names: Set[str] = set()
+        for struct in program.structs.values():
+            self.field_names.update(struct.field_names)
+
+    def error(self, message: str, function: Optional[str] = None) -> None:
+        self.diagnostics.append(Diagnostic(message, function))
+
+    # -- declarations -----------------------------------------------------------
+
+    def check_declarations(self) -> None:
+        for struct in self.program.structs.values():
+            seen: Set[str] = set()
+            for ftype, fname in struct.fields:
+                if fname in seen:
+                    self.error(
+                        f"struct {struct.name}: duplicate field {fname!r}")
+                seen.add(fname)
+                self.check_type(ftype, f"struct {struct.name}.{fname}")
+        for name in self.program.functions:
+            if name in self.program.globals:
+                self.error(f"{name!r} is both a global and a function")
+        for glob in self.program.globals.values():
+            self.check_type(glob.type, f"global {glob.name}")
+
+    def check_type(self, t: ast.Type, where: str) -> None:
+        while isinstance(t, ast.PtrType):
+            target = t.target.rstrip("*")
+            if target not in ("int",) and target not in self.program.structs:
+                self.error(f"{where}: unknown struct {target!r}")
+                return
+            if t.target.endswith("*"):
+                t = ast.PtrType(t.target[:-1])
+            else:
+                return
+
+    # -- statements / expressions -----------------------------------------------
+
+    def check_function(self, func: ast.FunctionDecl) -> None:
+        for param in func.params:
+            self.check_type(param.type, f"{func.name} parameter {param.name}")
+        self.check_block(func.body, func, in_atomic=False)
+
+    def check_block(self, block: ast.Block, func: ast.FunctionDecl,
+                    in_atomic: bool) -> None:
+        for stmt in block.stmts:
+            self.check_stmt(stmt, func, in_atomic)
+
+    def check_stmt(self, stmt: ast.Stmt, func: ast.FunctionDecl,
+                   in_atomic: bool) -> None:
+        if isinstance(stmt, ast.Block):
+            self.check_block(stmt, func, in_atomic)
+        elif isinstance(stmt, ast.VarDecl):
+            self.check_type(stmt.type, f"local {stmt.name}")
+            if stmt.init is not None:
+                self.check_expr(stmt.init, func)
+        elif isinstance(stmt, ast.Assign):
+            self.check_expr(stmt.target, func)
+            self.check_expr(stmt.value, func)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.check_expr(stmt.expr, func)
+        elif isinstance(stmt, ast.If):
+            self.check_expr(stmt.cond, func)
+            self.check_block(stmt.then, func, in_atomic)
+            if stmt.orelse is not None:
+                self.check_block(stmt.orelse, func, in_atomic)
+        elif isinstance(stmt, ast.While):
+            self.check_expr(stmt.cond, func)
+            self.check_block(stmt.body, func, in_atomic)
+        elif isinstance(stmt, ast.Atomic):
+            self.check_block(stmt.body, func, in_atomic=True)
+        elif isinstance(stmt, ast.Return):
+            if in_atomic:
+                self.error("return inside an atomic section is not supported",
+                           func.name)
+            if stmt.value is not None:
+                self.check_expr(stmt.value, func)
+        # Nop: nothing to check
+
+    def check_expr(self, expr: ast.Expr, func: ast.FunctionDecl) -> None:
+        if isinstance(expr, ast.CallExpr):
+            self.check_call(expr, func)
+            for arg in expr.args:
+                self.check_expr(arg, func)
+        elif isinstance(expr, ast.FieldAccess):
+            if expr.fieldname not in self.field_names:
+                self.error(
+                    f"unknown field {expr.fieldname!r}", func.name)
+            self.check_expr(expr.ptr, func)
+        elif isinstance(expr, ast.IndexAccess):
+            self.check_expr(expr.base, func)
+            self.check_expr(expr.index, func)
+        elif isinstance(expr, (ast.Deref,)):
+            self.check_expr(expr.ptr, func)
+        elif isinstance(expr, ast.AddrOf):
+            self.check_expr(expr.lvalue, func)
+        elif isinstance(expr, ast.Unary):
+            self.check_expr(expr.operand, func)
+        elif isinstance(expr, ast.Binary):
+            self.check_expr(expr.left, func)
+            self.check_expr(expr.right, func)
+        elif isinstance(expr, (ast.New, ast.NewArray)):
+            target = expr.type_name.rstrip("*")
+            if target != "int" and target not in self.program.structs:
+                self.error(f"new of unknown struct {expr.type_name!r}",
+                           func.name)
+            if isinstance(expr, ast.NewArray):
+                self.check_expr(expr.size, func)
+
+    def check_call(self, call: ast.CallExpr, func: ast.FunctionDecl) -> None:
+        callee = self.program.functions.get(call.func)
+        if callee is None:
+            if call.func not in self.externals:
+                self.error(f"call to unknown function {call.func!r}",
+                           func.name)
+            return
+        if len(call.args) != len(callee.params):
+            self.error(
+                f"call to {call.func!r} with {len(call.args)} args; "
+                f"expected {len(callee.params)}",
+                func.name,
+            )
+
+
+def validate_program(
+    program: ast.Program,
+    external_functions: Optional[Set[str]] = None,
+    strict: bool = True,
+) -> List[Diagnostic]:
+    """Check *program*; raise :class:`ValidationError` when *strict* and any
+    diagnostic was produced, else return the diagnostics."""
+    validator = _Validator(program, external_functions or set())
+    validator.check_declarations()
+    for func in program.functions.values():
+        validator.check_function(func)
+    if strict and validator.diagnostics:
+        raise ValidationError(validator.diagnostics)
+    return validator.diagnostics

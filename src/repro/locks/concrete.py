@@ -1,0 +1,98 @@
+"""Concrete lock semantics (§3.2).
+
+A lock denotes a pair ``(P, ε)``: the set of memory locations it protects and
+the strongest access effect it permits. ``P`` is either an explicit frozen set
+of cells (opaque hashables supplied by the interpreter) or the ``ALL``
+sentinel (every location, e.g. the global lock ⊤).
+
+The pair domain ``2^Loc × Eff`` is a lattice (product of the subset lattice
+and ro ⊑ rw); ``conflict`` and ``coarser`` are the two derived relations the
+paper defines over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Union
+
+from .effects import RO, RW, eff_join, eff_leq
+
+
+class _All:
+    """Sentinel: the set of all memory locations."""
+
+    _instance = None
+
+    def __new__(cls) -> "_All":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ALL"
+
+
+ALL = _All()
+
+LocationSet = Union[FrozenSet[Hashable], _All]
+
+
+@dataclass(frozen=True)
+class Denotation:
+    """``[[l]] = (locations, effect)`` for one lock."""
+
+    locations: LocationSet
+    effect: str  # RO | RW
+
+    def protects(self, cell: Hashable, effect: str) -> bool:
+        """Does this lock protect *cell* for accesses of kind *effect*?"""
+        if not eff_leq(effect, self.effect):
+            return False
+        if isinstance(self.locations, _All):
+            return True
+        return cell in self.locations
+
+
+GLOBAL_LOCK = Denotation(ALL, RW)
+GLOBAL_READ_LOCK = Denotation(ALL, RO)
+
+
+def loc_subset(a: LocationSet, b: LocationSet) -> bool:
+    if isinstance(b, _All):
+        return True
+    if isinstance(a, _All):
+        return False
+    return a <= b
+
+
+def loc_intersects(a: LocationSet, b: LocationSet) -> bool:
+    if isinstance(a, _All):
+        return not (isinstance(b, frozenset) and not b)
+    if isinstance(b, _All):
+        return not (isinstance(a, frozenset) and not a)
+    return bool(a & b)
+
+
+def denotation_leq(a: Denotation, b: Denotation) -> bool:
+    """The lock-lattice order: a ⊑ b iff locations ⊆ and effect ⊑."""
+    return loc_subset(a.locations, b.locations) and eff_leq(a.effect, b.effect)
+
+
+def conflict(a: Denotation, b: Denotation) -> bool:
+    """Two locks conflict if they share a location and one allows writes.
+
+    Paper: ``[[la]] ⊓ [[lb]] ≠ (∅, _) ∧ [[la]] ⊔ [[lb]] ≠ (_, ro)``.
+    """
+    return loc_intersects(a.locations, b.locations) and eff_join(
+        a.effect, b.effect
+    ) == RW
+
+
+def coarser(b: Denotation, a: Denotation) -> bool:
+    """``coarser(lb, la)`` iff lb protects everything la does: [[la]] ⊑ [[lb]]."""
+    return denotation_leq(a, b)
+
+
+def is_fine_grain(d: Denotation) -> bool:
+    """A fine-grain lock protects exactly one location."""
+    return isinstance(d.locations, frozenset) and len(d.locations) == 1

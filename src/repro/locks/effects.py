@@ -1,0 +1,25 @@
+"""The two-point access-effect lattice Eff = {ro, rw} with ro ⊑ rw (§3.2)."""
+
+from __future__ import annotations
+
+RO = "ro"
+RW = "rw"
+
+EFFECTS = (RO, RW)
+
+
+def eff_leq(a: str, b: str) -> bool:
+    """ro ⊑ ro, ro ⊑ rw, rw ⊑ rw."""
+    return a == RO or b == RW
+
+
+def eff_join(a: str, b: str) -> str:
+    return RW if RW in (a, b) else RO
+
+
+def eff_meet(a: str, b: str) -> str:
+    return RO if RO in (a, b) else RW
+
+
+def is_effect(value: str) -> bool:
+    return value in EFFECTS

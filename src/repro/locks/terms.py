@@ -1,0 +1,195 @@
+"""Symbolic lock terms: the expression locks of §3.3.1.
+
+A *lock term* names a memory cell relative to a program state: ``TVar(x)``
+denotes the cell of variable x (the paper's x̄, protecting &x); ``TStar(t)``
+denotes the cell pointed to by the content of t's cell (the paper's * l);
+``TPlus(t, f)`` denotes the offset cell (the paper's l + i); ``TIndex(t, ie)``
+is the dynamic-offset extension, whose index is a pure integer expression
+over entry-scope variables.
+
+The backward dataflow of §4 tracks sets of these terms; the k-limited scheme
+Σ_k admits terms of size ≤ k and widens larger ones to the enclosing
+points-to-set (coarse) lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Union
+
+
+# -- integer index expressions (evaluated at section entry) -------------------
+
+
+@dataclass(frozen=True)
+class IndexExpr:
+    pass
+
+
+@dataclass(frozen=True)
+class IVar(IndexExpr):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IConst(IndexExpr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class IBin(IndexExpr):
+    op: str
+    left: IndexExpr
+    right: IndexExpr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class IUnknown(IndexExpr):
+    """An index value not expressible at section entry (forces coarsening)."""
+
+    def __str__(self) -> str:
+        return "?"
+
+
+# -- lock terms ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Term:
+    pass
+
+
+@dataclass(frozen=True)
+class TVar(Term):
+    """x̄ — protects the cell of variable x (its address &x)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}̄"  # x̄
+
+
+@dataclass(frozen=True)
+class TStar(Term):
+    """* t — protects the cell pointed to by the content of t's cell."""
+
+    inner: Term
+
+    def __str__(self) -> str:
+        return f"*{self.inner}"
+
+
+@dataclass(frozen=True)
+class TPlus(Term):
+    """t + f — protects the field-f cell of the object whose base t denotes."""
+
+    inner: Term
+    fieldname: str
+
+    def __str__(self) -> str:
+        return f"({self.inner} + .{self.fieldname})"
+
+
+@dataclass(frozen=True)
+class TIndex(Term):
+    """t +[ie] — protects the dynamically indexed cell."""
+
+    inner: Term
+    index: IndexExpr
+
+    def __str__(self) -> str:
+        return f"({self.inner} +[{self.index}])"
+
+
+# -- measures ---------------------------------------------------------------
+
+
+def index_size(ie: IndexExpr) -> int:
+    if isinstance(ie, IBin):
+        return 1 + index_size(ie.left) + index_size(ie.right)
+    return 0
+
+
+def term_size(term: Term) -> int:
+    """The k-limiting length: 1 for the base variable plus 1 per operator."""
+    if isinstance(term, TVar):
+        return 1
+    if isinstance(term, TStar):
+        return 1 + term_size(term.inner)
+    if isinstance(term, TPlus):
+        return 1 + term_size(term.inner)
+    if isinstance(term, TIndex):
+        return 1 + term_size(term.inner) + index_size(term.index)
+    raise TypeError(f"unknown term {term!r}")
+
+
+def index_has_unknown(ie: IndexExpr) -> bool:
+    if isinstance(ie, IUnknown):
+        return True
+    if isinstance(ie, IBin):
+        return index_has_unknown(ie.left) or index_has_unknown(ie.right)
+    return False
+
+
+def term_has_unknown(term: Term) -> bool:
+    """True if the term contains an index not evaluable at section entry."""
+    if isinstance(term, TVar):
+        return False
+    if isinstance(term, TStar):
+        return term_has_unknown(term.inner)
+    if isinstance(term, TPlus):
+        return term_has_unknown(term.inner)
+    if isinstance(term, TIndex):
+        return index_has_unknown(term.index) or term_has_unknown(term.inner)
+    raise TypeError(f"unknown term {term!r}")
+
+
+def index_free_vars(ie: IndexExpr) -> FrozenSet[str]:
+    if isinstance(ie, IVar):
+        return frozenset((ie.name,))
+    if isinstance(ie, IBin):
+        return index_free_vars(ie.left) | index_free_vars(ie.right)
+    return frozenset()
+
+
+def term_free_vars(term: Term) -> FrozenSet[str]:
+    if isinstance(term, TVar):
+        return frozenset((term.name,))
+    if isinstance(term, TStar):
+        return term_free_vars(term.inner)
+    if isinstance(term, TPlus):
+        return term_free_vars(term.inner)
+    if isinstance(term, TIndex):
+        return term_free_vars(term.inner) | index_free_vars(term.index)
+    raise TypeError(f"unknown term {term!r}")
+
+
+def base_var(term: Term) -> str:
+    """The variable at the root of the pointer spine."""
+    while not isinstance(term, TVar):
+        term = term.inner  # type: ignore[attr-defined]
+    return term.name
+
+
+def term_for_access_path(var: str, *ops: Union[str, int]) -> Term:
+    """Convenience constructor: ``term_for_access_path('x', '*', 'f', '*')``
+    builds ``*((*x̄) + .f)`` reading ops left to right ('*' = deref,
+    str = field offset, int = constant index)."""
+    term: Term = TVar(var)
+    for op in ops:
+        if op == "*":
+            term = TStar(term)
+        elif isinstance(op, int):
+            term = TIndex(term, IConst(op))
+        else:
+            term = TPlus(term, op)
+    return term

@@ -1,0 +1,109 @@
+"""Type-based locks (paper §3.2.1): one lock per type, ⊤ above all.
+
+``[[l_τ]] = ({v | typeOf(v) = τ' ∧ τ' <: τ}, rw)`` — a type's lock protects
+every value of that type or a subtype. Mini-C has no inheritance, but the
+scheme accepts an explicit subtype relation (child → parent) so the paper's
+"super-type is a coarser lock than a sub-type" law is expressible and
+testable.
+
+For the operator side we use the struct table: ``l + f`` yields the lock of
+the struct type(s) declaring field ``f`` (their join), and ``*`` yields the
+pointee struct type when the field table determines it uniquely, else ⊤.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Set
+
+from ..lang import ast
+from .effects import RW
+from .scheme import AbstractLockScheme, TOP
+
+
+class TypeScheme(AbstractLockScheme):
+    """Lock names: struct names (plus "int") and ⊤."""
+
+    name = "types"
+
+    def __init__(self, program: ast.Program,
+                 subtypes: Optional[Dict[str, str]] = None) -> None:
+        self.program = program
+        self.subtypes = dict(subtypes or {})
+        # field name -> set of struct names declaring it
+        self._field_owners: Dict[str, Set[str]] = {}
+        # (struct, field) -> pointee struct name for pointer fields
+        self._field_target: Dict[tuple, Optional[str]] = {}
+        for struct in program.structs.values():
+            for ftype, fname in struct.fields:
+                self._field_owners.setdefault(fname, set()).add(struct.name)
+                target: Optional[str] = None
+                if isinstance(ftype, ast.PtrType):
+                    base = ftype.target.rstrip("*")
+                    if base in program.structs:
+                        target = base
+                self._field_target[(struct.name, fname)] = target
+
+    # -- lattice ---------------------------------------------------------------
+
+    def top(self) -> Hashable:
+        return TOP
+
+    def _ancestors(self, name: str) -> Set[str]:
+        seen = {name}
+        while name in self.subtypes:
+            name = self.subtypes[name]
+            if name in seen:
+                break  # defensive: cyclic declarations
+            seen.add(name)
+        return seen
+
+    def leq(self, a: Hashable, b: Hashable) -> bool:
+        if b == TOP:
+            return True
+        if a == TOP:
+            return False
+        return b in self._ancestors(a)  # τ <: τ' ⇒ l_τ ≤ l_τ'
+
+    def join(self, a: Hashable, b: Hashable) -> Hashable:
+        if a == b:
+            return a
+        if a == TOP or b == TOP:
+            return TOP
+        common = self._ancestors(a) & self._ancestors(b)
+        if not common:
+            return TOP
+        # walk a's subtype chain outward; the first member of common is the
+        # least common ancestor
+        chain = [a]
+        node = a
+        while node in self.subtypes:
+            node = self.subtypes[node]
+            chain.append(node)
+        for node in chain:
+            if node in common:
+                return node
+        return TOP
+
+    # -- operators ----------------------------------------------------------------
+
+    def var(self, x: str, p: object = None, eff: str = RW) -> Hashable:
+        return TOP  # variables are untyped cells here
+
+    def plus(self, lock: Hashable, fieldname: str, p: object = None,
+             eff: str = RW) -> Hashable:
+        owners = self._field_owners.get(fieldname)
+        if not owners:
+            return TOP
+        result: Hashable = None
+        for owner in owners:
+            result = owner if result is None else self.join(result, owner)
+        return result
+
+    def star(self, lock: Hashable, p: object = None, eff: str = RW) -> Hashable:
+        # Dereferencing a field cell lands in the field's pointee type when
+        # the previous lock pinned down a single declaring struct+field;
+        # the generic hat() construction loses that pairing, so stay sound:
+        return TOP
+
+    def some_locks(self) -> Iterable[Hashable]:
+        return [TOP, *sorted(self.program.structs)]

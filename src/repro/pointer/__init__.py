@@ -1,0 +1,17 @@
+"""Pointer analyses: Steensgaard unification (paper §4.3) and helpers."""
+
+from .aliasing import AliasOracle
+from .andersen import Andersen, AndersenOracle
+from .steensgaard import ECR, IDX_FIELD, AllocSite, PointsTo
+from .unionfind import UnionFind
+
+__all__ = [
+    "PointsTo",
+    "ECR",
+    "AllocSite",
+    "IDX_FIELD",
+    "AliasOracle",
+    "Andersen",
+    "AndersenOracle",
+    "UnionFind",
+]

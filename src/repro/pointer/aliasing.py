@@ -1,0 +1,62 @@
+"""The mayAlias oracle and lock-term class queries (analysis inputs, §4.1).
+
+The inference framework consumes the pointer analysis through two questions:
+
+* ``class_of_term`` — which points-to equivalence class contains the cell a
+  lock term denotes (this is the Σ_≡ component of an inferred lock);
+* ``may_alias_terms`` — may two lock terms denote the same cell (used by the
+  store transfer function S_{*x=y}).
+
+With a unification-based analysis both reduce to walking the term through
+the ECR graph: two cells may alias iff their classes coincide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..locks.terms import Term, TIndex, TPlus, TStar, TVar
+from .steensgaard import ECR, PointsTo
+
+
+class AliasOracle:
+    """Caches class lookups for lock terms within one analyzed program."""
+
+    def __init__(self, pointsto: PointsTo) -> None:
+        self.pointsto = pointsto
+        self._cache: Dict[Tuple[str, Term], ECR] = {}
+
+    def term_ecr(self, func_name: str, term: Term) -> ECR:
+        """ECR of the cell *term* denotes, with variables scoped to
+        *func_name*."""
+        key = (func_name, term)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached.find()
+        pt = self.pointsto
+        if isinstance(term, TVar):
+            ecr = pt.var_ecr(func_name, term.name)
+        elif isinstance(term, TStar):
+            ecr = pt.pts_class(self.term_ecr(func_name, term.inner))
+        elif isinstance(term, TPlus):
+            ecr = pt.offset_class(self.term_ecr(func_name, term.inner),
+                                  term.fieldname)
+        elif isinstance(term, TIndex):
+            ecr = pt.offset_class(self.term_ecr(func_name, term.inner), None)
+        else:
+            raise TypeError(f"unknown term {term!r}")
+        self._cache[key] = ecr
+        return ecr
+
+    def class_of_term(self, func_name: str, term: Term) -> int:
+        return self.pointsto.class_id(self.term_ecr(func_name, term))
+
+    def may_alias_terms(self, func_a: str, a: Term, func_b: str, b: Term) -> bool:
+        """May the cells denoted by *a* and *b* coincide? Unification-based:
+        yes iff their classes are equal (plus the trivial syntactic case)."""
+        if func_a == func_b and a == b:
+            return True
+        return self.term_ecr(func_a, a) is self.term_ecr(func_b, b)
+
+    def var_cell_class(self, func_name: str, name: str) -> ECR:
+        return self.pointsto.var_ecr(func_name, name)

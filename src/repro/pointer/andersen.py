@@ -1,0 +1,234 @@
+"""Andersen-style inclusion-based points-to analysis (framework extension).
+
+The paper parameterizes the inference framework by an alias analysis and
+instantiates it with Steensgaard's; this module provides the more precise
+inclusion-based alternative, used by the ablation benchmarks and available
+through :class:`AndersenOracle`.
+
+Abstract locations (nodes):
+
+* ``("var", func, name)`` — a variable's cell;
+* ``("site", site_id, offset)`` — cells of heap objects from an allocation
+  site, field-sensitively (``None`` = base cell, field name, or ``$idx``
+  for all array cells).
+
+Constraints follow the lowered IR; the solver is a standard worklist over
+subset constraints with deref edges (complex constraints re-fire when the
+points-to set of their pivot grows).
+
+The points-to *partition* used for coarse locks stays Steensgaard's (an
+inclusion analysis does not induce disjoint classes); Andersen only answers
+``mayAlias``, which is exactly how the paper's framework separates the two
+inputs (§4.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from ..lang import ast, ir
+from ..locks.terms import Term, TIndex, TPlus, TStar, TVar
+from .aliasing import AliasOracle
+from .steensgaard import IDX_FIELD, PointsTo
+
+Node = Tuple  # ("var", func, name) | ("site", site_id, offset)
+
+
+class Andersen:
+    """Whole-program inclusion-based points-to analysis."""
+
+    def __init__(self, program: ir.LoweredProgram,
+                 pointsto: Optional[PointsTo] = None) -> None:
+        self.program = program
+        # reuse Steensgaard's site numbering so both analyses agree on sites
+        self._steens = pointsto if pointsto is not None else PointsTo(program)
+        if not self._steens.sites:
+            self._steens.number_sites()
+        self.pts: Dict[Node, Set[Node]] = {}
+        # simple subset edges: pts[src] ⊆ pts[dst]
+        self._succs: Dict[Node, Set[Node]] = {}
+        # complex constraints keyed by pivot node:
+        #   ("load", dst): for l in pts[pivot]: edge l -> dst
+        #   ("store", src): for l in pts[pivot]: edge src -> l
+        #   ("offset", dst, fieldname): for l in pts[pivot]: pts[dst] ∋ l+f
+        self._complex: Dict[Node, Set[Tuple]] = {}
+        self._worklist: deque = deque()
+        self._analyzed = False
+
+    # -- node helpers ---------------------------------------------------------
+
+    def var_node(self, func: str, name: str) -> Node:
+        scope, resolved = self._steens.var_key(func, name)
+        return ("var", scope, resolved)
+
+    @staticmethod
+    def offset_node(node: Node, fieldname: str) -> Optional[Node]:
+        if node[0] != "site":
+            return None  # offsets of variable cells do not arise
+        return ("site", node[1], fieldname)
+
+    def _pts(self, node: Node) -> Set[Node]:
+        existing = self.pts.get(node)
+        if existing is None:
+            existing = set()
+            self.pts[node] = existing
+        return existing
+
+    def _add_edge(self, src: Node, dst: Node) -> None:
+        succs = self._succs.setdefault(src, set())
+        if dst not in succs:
+            succs.add(dst)
+            if self._pts(src):
+                self._enqueue(src)
+
+    def _add_to(self, node: Node, locs: Set[Node]) -> None:
+        target = self._pts(node)
+        new = locs - target
+        if new:
+            target |= new
+            self._enqueue(node)
+
+    def _enqueue(self, node: Node) -> None:
+        self._worklist.append(node)
+
+    def _add_complex(self, pivot: Node, constraint: Tuple) -> None:
+        table = self._complex.setdefault(pivot, set())
+        if constraint not in table:
+            table.add(constraint)
+            if self._pts(pivot):
+                self._enqueue(pivot)
+
+    # -- constraint generation --------------------------------------------------
+
+    def analyze(self) -> "Andersen":
+        if self._analyzed:
+            return self
+        for func in self.program.functions.values():
+            for instr in ir.walk_instrs(func.body):
+                self._generate(func.name, instr)
+        self._solve()
+        self._analyzed = True
+        return self
+
+    def _generate(self, func: str, instr: ir.Instr) -> None:
+        if isinstance(instr, ir.IAssign):
+            self._generate_assign(func, instr)
+        elif isinstance(instr, ir.IStore):
+            if isinstance(instr.value, ir.VarAtom):
+                addr = self.var_node(func, instr.addr)
+                value = self.var_node(func, instr.value.name)
+                self._add_complex(addr, ("store", value))
+        elif isinstance(instr, ir.IReturn):
+            if isinstance(instr.value, ir.VarAtom):
+                ret = self.var_node(func, ast.return_var(func))
+                self._add_edge(self.var_node(func, instr.value.name), ret)
+
+    def _generate_assign(self, func: str, instr: ir.IAssign) -> None:
+        rhs = instr.rhs
+        dest = self.var_node(func, instr.dest)
+        if isinstance(rhs, ir.RVar):
+            self._add_edge(self.var_node(func, rhs.src), dest)
+        elif isinstance(rhs, ir.RAddrVar):
+            self._add_to(dest, {self.var_node(func, rhs.src)})
+        elif isinstance(rhs, ir.RLoad):
+            self._add_complex(self.var_node(func, rhs.src), ("load", dest))
+        elif isinstance(rhs, ir.RFieldAddr):
+            self._add_complex(
+                self.var_node(func, rhs.src), ("offset", dest, rhs.fieldname)
+            )
+        elif isinstance(rhs, ir.RIndexAddr):
+            self._add_complex(
+                self.var_node(func, rhs.src), ("offset", dest, IDX_FIELD)
+            )
+        elif isinstance(rhs, (ir.RNew, ir.RNewArray)):
+            assert instr.site is not None
+            self._add_to(dest, {("site", instr.site, None)})
+        elif isinstance(rhs, ir.RCall):
+            callee = self.program.functions.get(rhs.func)
+            if callee is None:
+                return
+            for param, arg in zip(callee.params, rhs.args):
+                if isinstance(arg, ir.VarAtom):
+                    self._add_edge(
+                        self.var_node(func, arg.name),
+                        self.var_node(rhs.func, param),
+                    )
+            ret = self.var_node(rhs.func, ast.return_var(rhs.func))
+            self._add_edge(ret, dest)
+
+    # -- solver -------------------------------------------------------------------
+
+    def _solve(self) -> None:
+        seen_pairs: Set[Tuple[Node, Tuple]] = set()
+        while self._worklist:
+            node = self._worklist.popleft()
+            locs = self.pts.get(node, set())
+            if not locs:
+                continue
+            for constraint in list(self._complex.get(node, ())):
+                for loc in list(locs):
+                    pair = (loc, constraint)
+                    if pair in seen_pairs:
+                        continue
+                    seen_pairs.add(pair)
+                    kind = constraint[0]
+                    if kind == "load":
+                        self._add_edge(loc, constraint[1])
+                    elif kind == "store":
+                        self._add_edge(constraint[1], loc)
+                    else:  # offset
+                        target = self.offset_node(loc, constraint[2])
+                        if target is not None:
+                            self._add_to(constraint[1], {target})
+            for succ in list(self._succs.get(node, ())):
+                self._add_to(succ, locs)
+
+    # -- queries --------------------------------------------------------------------
+
+    def points_to(self, func: str, name: str) -> FrozenSet[Node]:
+        return frozenset(self.pts.get(self.var_node(func, name), ()))
+
+    def cells_of_term(self, func: str, term: Term) -> FrozenSet[Node]:
+        """The abstract cells a lock term may denote."""
+        if isinstance(term, TVar):
+            return frozenset((self.var_node(func, term.name),))
+        if isinstance(term, TStar):
+            out: Set[Node] = set()
+            for cell in self.cells_of_term(func, term.inner):
+                out |= self.pts.get(cell, set())
+            return frozenset(out)
+        if isinstance(term, TPlus):
+            return self._offset_cells(func, term.inner, term.fieldname)
+        if isinstance(term, TIndex):
+            return self._offset_cells(func, term.inner, IDX_FIELD)
+        raise TypeError(f"unknown term {term!r}")
+
+    def _offset_cells(self, func: str, inner: Term,
+                      fieldname: str) -> FrozenSet[Node]:
+        out: Set[Node] = set()
+        for cell in self.cells_of_term(func, inner):
+            target = self.offset_node(cell, fieldname)
+            if target is not None:
+                out.add(target)
+        return frozenset(out)
+
+
+class AndersenOracle(AliasOracle):
+    """Alias oracle answering mayAlias with Andersen precision while keeping
+    Steensgaard's partition for the Σ_≡ coarse-lock classes."""
+
+    def __init__(self, pointsto: PointsTo, andersen: Andersen) -> None:
+        super().__init__(pointsto)
+        self.andersen = andersen
+
+    def may_alias_terms(self, func_a: str, a: Term, func_b: str, b: Term) -> bool:
+        if func_a == func_b and a == b:
+            return True
+        cells_a = self.andersen.cells_of_term(func_a, a)
+        cells_b = self.andersen.cells_of_term(func_b, b)
+        if not cells_a or not cells_b:
+            # one side is empty (e.g. a path through uninitialized state):
+            # fall back to the unification answer to stay conservative
+            return super().may_alias_terms(func_a, a, func_b, b)
+        return bool(cells_a & cells_b)

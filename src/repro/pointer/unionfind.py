@@ -1,0 +1,58 @@
+"""Union-find (disjoint sets) with path compression and union by rank."""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, List, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind(Generic[T]):
+    """Classic disjoint-set forest over arbitrary hashable items."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[T, T] = {}
+        self._rank: Dict[T, int] = {}
+
+    def add(self, item: T) -> T:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+        return self.find(item)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent
+
+    def find(self, item: T) -> T:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # path compression
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: T, b: T) -> T:
+        """Merge the sets of *a* and *b*; return the surviving root."""
+        ra, rb = self.find(self.add(a)), self.find(self.add(b))
+        if ra == rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return ra
+
+    def same(self, a: T, b: T) -> bool:
+        return a in self._parent and b in self._parent and self.find(a) == self.find(b)
+
+    def items(self) -> Iterable[T]:
+        return self._parent.keys()
+
+    def groups(self) -> Dict[T, List[T]]:
+        """Map each root to the list of its members."""
+        result: Dict[T, List[T]] = {}
+        for item in self._parent:
+            result.setdefault(self.find(item), []).append(item)
+        return result

@@ -1,0 +1,42 @@
+"""Multi-granularity lock runtime (paper §5)."""
+
+from .api import ThreadLockState, acquire_all, plan_requests, release_all
+from .manager import LockManager, LockNode, LockStats, ROOT, canonical_order
+from .modes import (
+    IS,
+    IX,
+    MODES,
+    S,
+    SIX,
+    X,
+    combine,
+    compatible,
+    grants_read,
+    grants_write,
+    intention_for_effect,
+    mode_for_effect,
+)
+
+__all__ = [
+    "LockManager",
+    "LockNode",
+    "LockStats",
+    "ROOT",
+    "canonical_order",
+    "ThreadLockState",
+    "plan_requests",
+    "acquire_all",
+    "release_all",
+    "IS",
+    "IX",
+    "S",
+    "SIX",
+    "X",
+    "MODES",
+    "compatible",
+    "combine",
+    "mode_for_effect",
+    "intention_for_effect",
+    "grants_read",
+    "grants_write",
+]

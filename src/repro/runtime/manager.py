@@ -1,0 +1,146 @@
+"""The multi-granularity lock manager (paper §5.1-§5.2).
+
+The lock structure for the Σ_k × Σ_≡ × Σ_ε scheme is a tree:
+
+    root ⊤  →  one node per points-to class  →  one node per concrete cell
+
+``acquire`` requests follow the protocol: ancestors are marked with
+intention modes before descendants are locked; every thread acquires nodes
+in the same canonical order (root, then class nodes by class id, then cell
+nodes by cell key), so siblings are ordered and the protocol is deadlock
+free. Locks are released all at once at the end of the section (two-phase).
+
+Grant policy per node: a request is granted iff its mode is compatible with
+every other holder's mode *and* with every earlier still-waiting request
+(FIFO, no overtaking — prevents writer starvation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .modes import combine, compatible
+
+
+class LockNode:
+    """One node in the lock tree."""
+
+    __slots__ = ("name", "holders", "waiters", "_wait_counter")
+
+    def __init__(self, name: object) -> None:
+        self.name = name
+        self.holders: Dict[int, str] = {}  # thread id -> combined mode
+        self.waiters: Dict[int, Tuple[int, str]] = {}  # tid -> (order, mode)
+        self._wait_counter = 0
+
+    def can_grant(self, tid: int, mode: str) -> bool:
+        for other, held in self.holders.items():
+            if other != tid and not compatible(mode, held):
+                return False
+        # FIFO, no overtaking: a fresh request ranks after every waiter.
+        my_order = self.waiters[tid][0] if tid in self.waiters else float("inf")
+        for other, (order, wmode) in self.waiters.items():
+            if other == tid or order > my_order:
+                continue
+            if not compatible(mode, wmode):
+                return False
+        return True
+
+    def try_acquire(self, tid: int, mode: str) -> bool:
+        """Attempt to take *mode*; on failure, join the FIFO wait queue."""
+        needed = combine(self.holders.get(tid), mode)
+        if self.can_grant(tid, needed):
+            self.holders[tid] = needed
+            self.waiters.pop(tid, None)
+            return True
+        if tid not in self.waiters:
+            self._wait_counter += 1
+            self.waiters[tid] = (self._wait_counter, needed)
+        else:
+            order, _ = self.waiters[tid]
+            self.waiters[tid] = (order, needed)
+        return False
+
+    def release(self, tid: int) -> None:
+        self.holders.pop(tid, None)
+        self.waiters.pop(tid, None)
+
+
+ROOT = ("root",)
+
+
+@dataclass
+class LockStats:
+    acquires: int = 0
+    node_acquires: int = 0
+    blocks: int = 0
+
+
+class LockManager:
+    """Tree of lock nodes, created lazily; shared by all simulated threads."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[object, LockNode] = {ROOT: LockNode(ROOT)}
+        self.held: Dict[int, List[LockNode]] = {}
+        self.stats = LockStats()
+
+    def node(self, name: object) -> LockNode:
+        existing = self.nodes.get(name)
+        if existing is None:
+            existing = LockNode(name)
+            self.nodes[name] = existing
+        return existing
+
+    @staticmethod
+    def class_node_name(cls: int) -> object:
+        return ("cls", cls)
+
+    @staticmethod
+    def cell_node_name(cls: int, cell_key: object) -> object:
+        return ("cell", cls, cell_key)
+
+    def try_acquire_node(self, tid: int, name: object, mode: str) -> bool:
+        node = self.node(name)
+        acquired = node.try_acquire(tid, mode)
+        if acquired:
+            self.stats.node_acquires += 1
+            held = self.held.setdefault(tid, [])
+            if node not in held:
+                held.append(node)
+        else:
+            self.stats.blocks += 1
+        return acquired
+
+    def release_all(self, tid: int) -> None:
+        # bottom-up: release in reverse acquisition order
+        for node in reversed(self.held.get(tid, [])):
+            node.release(tid)
+        self.held[tid] = []
+
+    def holds_any(self, tid: int) -> bool:
+        return bool(self.held.get(tid))
+
+    def held_nodes(self, tid: int) -> List[LockNode]:
+        return list(self.held.get(tid, []))
+
+
+def canonical_order(requests: Dict[object, str]) -> List[Tuple[object, str]]:
+    """Sort node requests into the global acquisition order: root first, then
+    class nodes by id, then cell nodes by (class, cell key)."""
+
+    def sort_key(item: Tuple[object, str]):
+        name, _ = item
+        if name == ROOT:
+            return (0,)
+        if name[0] == "cls":
+            return (1, name[1])
+        # cell node: ("cell", cls, (oid, off)); offsets are str/int/None
+        _, cls, cell_key = name
+        oid, off = cell_key
+        off_rank = (0, "") if off is None else (
+            (1, str(off)) if isinstance(off, str) else (2, off)
+        )
+        return (2, cls, oid) + off_rank
+
+    return sorted(requests.items(), key=sort_key)

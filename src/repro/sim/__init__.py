@@ -1,0 +1,14 @@
+"""Deterministic discrete-event concurrency simulator.
+
+Python's GIL makes wall-clock multithreaded timing meaningless, so the
+reproduction measures what the paper's experiments actually exercise —
+*which threads can make progress concurrently under a given concurrency
+control discipline* — on a simulated machine: interpreter threads are
+coroutines; each simulated tick advances up to ``ncores`` runnable threads
+by one unit of work; blocked threads (waiting on a lock grant or STM retry
+backoff) consume no core slots. "Execution time" is the makespan in ticks.
+"""
+
+from .scheduler import DeadlockError, Scheduler, SimStats, SimThread, WORK, TRY
+
+__all__ = ["Scheduler", "SimThread", "SimStats", "DeadlockError", "WORK", "TRY"]

@@ -1,0 +1,183 @@
+"""Round-robin multi-core discrete-event scheduler.
+
+Threads are generators. Each value they yield is an *event*:
+
+* ``(WORK, n)`` or a bare ``int n`` — consume *n* ticks of CPU on a core
+  (n ≥ 1; the thread stays runnable);
+* ``(TRY, fn)`` — attempt ``fn()``; if it returns True the thread continues
+  (the attempt consumed this tick); if False the thread is *blocked* and the
+  scheduler re-attempts ``fn()`` on subsequent ticks without consuming core
+  slots until it succeeds.
+
+On each tick, up to ``ncores`` runnable threads advance by one work unit, in
+round-robin order (rotating the start index for fairness). Blocked threads
+re-try their predicates at the start of every tick, in blocking order (FIFO),
+which lets lock-manager grant order stay deterministic.
+
+A tick where no thread is runnable and none can unblock is a deadlock; the
+scheduler raises :class:`DeadlockError` (the transformed programs must never
+trigger this — that is the paper's deadlock-freedom guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+WORK = "work"
+TRY = "try"
+
+
+class DeadlockError(RuntimeError):
+    """All unfinished threads are blocked and none can make progress."""
+
+
+@dataclass
+class SimStats:
+    ticks: int = 0
+    work_done: int = 0
+    blocked_ticks: int = 0
+    ncores: int = 1
+    per_thread_work: Dict[int, int] = field(default_factory=dict)
+    per_thread_blocked: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of core-ticks that did work (1.0 = fully parallel)."""
+        if self.ticks == 0:
+            return 0.0
+        return self.work_done / (self.ticks * self.ncores)
+
+
+class SimThread:
+    """One simulated thread wrapping a coroutine generator.
+
+    The next event is prefetched (``current``), so thread completion is
+    detected together with its final work unit rather than a tick later.
+    """
+
+    __slots__ = ("tid", "gen", "state", "pending_work", "try_fn",
+                 "block_order", "current")
+
+    def __init__(self, tid: int, gen: Generator) -> None:
+        self.tid = tid
+        self.gen = gen
+        self.state = "runnable"  # runnable | blocked | done
+        self.pending_work = 0  # remaining ticks of the current work event
+        self.try_fn: Optional[Callable[[], bool]] = None
+        self.block_order = 0
+        self.current = None  # the prefetched event
+        self.fetch()
+
+    def fetch(self) -> None:
+        try:
+            self.current = next(self.gen)
+        except StopIteration:
+            self.state = "done"
+
+    def __repr__(self) -> str:
+        return f"<thread {self.tid}: {self.state}>"
+
+
+class Scheduler:
+    def __init__(self, ncores: int = 8, max_ticks: int = 100_000_000) -> None:
+        self.ncores = ncores
+        self.max_ticks = max_ticks
+        self.threads: List[SimThread] = []
+        self.stats = SimStats(ncores=ncores)
+        self._block_counter = 0
+
+    def spawn(self, gen: Generator) -> SimThread:
+        thread = SimThread(len(self.threads), gen)
+        self.threads.append(thread)
+        self.stats.per_thread_work[thread.tid] = 0
+        self.stats.per_thread_blocked[thread.tid] = 0
+        return thread
+
+    # -- event handling -------------------------------------------------------
+
+    def _advance(self, thread: SimThread) -> None:
+        """Run *thread* for one unit of work on a core."""
+        if thread.pending_work > 0:
+            thread.pending_work -= 1
+            if thread.pending_work == 0:
+                thread.fetch()
+            return
+        event = thread.current
+        if event is None:
+            thread.fetch()  # a bare `yield` = one tick of work
+            return
+        if isinstance(event, int):
+            thread.pending_work = max(0, event - 1)
+            if thread.pending_work == 0:
+                thread.fetch()
+            return
+        kind = event[0]
+        if kind == WORK:
+            thread.pending_work = max(0, event[1] - 1)
+            if thread.pending_work == 0:
+                thread.fetch()
+            return
+        if kind == TRY:
+            fn = event[1]
+            if fn():
+                thread.fetch()
+            else:
+                thread.state = "blocked"
+                thread.try_fn = fn
+                self._block_counter += 1
+                thread.block_order = self._block_counter
+            return
+        raise ValueError(f"unknown sim event {event!r}")
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> SimStats:
+        rotate = 0
+        while True:
+            unfinished = [t for t in self.threads if t.state != "done"]
+            if not unfinished:
+                return self.stats
+            if self.stats.ticks >= self.max_ticks:
+                raise RuntimeError(
+                    f"simulation exceeded {self.max_ticks} ticks (livelock?)"
+                )
+            # 1. wake blocked threads whose predicates now succeed (FIFO)
+            blocked = sorted(
+                (t for t in unfinished if t.state == "blocked"),
+                key=lambda t: t.block_order,
+            )
+            for thread in blocked:
+                if thread.try_fn is not None and thread.try_fn():
+                    thread.state = "runnable"
+                    thread.try_fn = None
+                    thread.fetch()
+            # 2. advance up to ncores runnable threads
+            runnable = [t for t in unfinished if t.state == "runnable"]
+            if not runnable:
+                if blocked:
+                    raise DeadlockError(
+                        "all threads blocked: "
+                        + ", ".join(repr(t) for t in blocked)
+                    )
+                return self.stats
+            start = rotate % len(runnable)
+            chosen = (runnable[start:] + runnable[:start])[: self.ncores]
+            rotate += 1
+            self.stats.ticks += 1
+            for thread in chosen:
+                self._advance(thread)
+                self.stats.work_done += 1
+                self.stats.per_thread_work[thread.tid] += 1
+            for thread in unfinished:
+                if thread.state == "blocked":
+                    self.stats.blocked_ticks += 1
+                    self.stats.per_thread_blocked[thread.tid] += 1
+
+
+def run_threads(generators: List[Generator], ncores: int = 8) -> SimStats:
+    """Convenience: run *generators* to completion; return the statistics."""
+    scheduler = Scheduler(ncores=ncores)
+    for gen in generators:
+        scheduler.spawn(gen)
+    return scheduler.run()

@@ -1,0 +1,5 @@
+"""TL2-style STM baseline (paper §6's optimistic comparison point)."""
+
+from .tl2 import STMStats, TL2System, TL2Tx, TxAbort, backoff_ticks
+
+__all__ = ["TL2System", "TL2Tx", "TxAbort", "STMStats", "backoff_ticks"]

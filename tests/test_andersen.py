@@ -1,0 +1,154 @@
+"""Andersen inclusion-based analysis tests (framework extension)."""
+
+from repro.inference import Engine, LockInference
+from repro.cfg import build_cfgs
+from repro.lang import lower_program, parse_program
+from repro.locks.terms import TPlus, TStar, TVar
+from repro.pointer import Andersen, AndersenOracle, PointsTo
+
+
+def analyses(source):
+    program = lower_program(parse_program(source))
+    steens = PointsTo(program).analyze()
+    andersen = Andersen(program, steens).analyze()
+    return program, steens, andersen
+
+
+def test_address_of():
+    _, _, a = analyses("void f(int x, int y) { int* p = &x; int* q = &y; }")
+    assert a.points_to("f", "p") == frozenset({("var", "f", "x")})
+    assert a.points_to("f", "q") == frozenset({("var", "f", "y")})
+
+
+def test_copy_propagates_directionally():
+    """The inclusion analysis keeps p and q distinct where unification
+    merges them."""
+    src = """
+    void f(int x, int y) {
+      int* p = &x;
+      int* q = &y;
+      int* r = p;
+      r = q;
+    }
+    """
+    _, steens, andersen = analyses(src)
+    # Andersen: r may point to x or y; p still only to x
+    assert andersen.points_to("f", "r") == frozenset(
+        {("var", "f", "x"), ("var", "f", "y")}
+    )
+    assert andersen.points_to("f", "p") == frozenset({("var", "f", "x")})
+    # Steensgaard merges the pointees of p, q, r into one class
+    assert steens.pts_class(steens.var_ecr("f", "p")) is steens.pts_class(
+        steens.var_ecr("f", "q")
+    )
+
+
+def test_load_store_through_heap():
+    src = """
+    struct e { e* next; }
+    void f() {
+      e* a = new e;
+      e* b = new e;
+      a->next = b;
+      e* c = a->next;
+    }
+    """
+    _, _, andersen = analyses(src)
+    pts_b = andersen.points_to("f", "b")
+    pts_c = andersen.points_to("f", "c")
+    assert pts_b and pts_b <= pts_c
+
+
+def test_allocation_sites_field_sensitive():
+    src = """
+    struct e { e* left; e* right; }
+    void f() {
+      e* a = new e;
+      e* l = new e;
+      a->left = l;
+      e* got = a->left;
+      e* other = a->right;
+    }
+    """
+    _, _, andersen = analyses(src)
+    assert andersen.points_to("f", "got") == andersen.points_to("f", "l")
+    assert andersen.points_to("f", "other") == frozenset()
+
+
+def test_calls_flow_arguments_and_returns():
+    src = """
+    struct e { e* next; }
+    e* id(e* p) { return p; }
+    void f() { e* a = new e; e* b = id(a); }
+    """
+    _, _, andersen = analyses(src)
+    assert andersen.points_to("f", "b") == andersen.points_to("f", "a")
+
+
+def test_cells_of_term():
+    src = """
+    struct e { e* next; }
+    void f() { e* a = new e; }
+    """
+    _, _, andersen = analyses(src)
+    cells = andersen.cells_of_term("f", TStar(TVar("a")))
+    assert cells == frozenset({("site", 0, None)})
+    field_cells = andersen.cells_of_term("f", TPlus(TStar(TVar("a")), "next"))
+    assert field_cells == frozenset({("site", 0, "next")})
+
+
+def test_oracle_is_more_precise_than_steensgaard():
+    """x and y point to distinct allocations but share a class after a
+    conditional merge through z; Andersen keeps the distinction."""
+    src = """
+    struct e { int v; }
+    void f(int c) {
+      e* x = new e;
+      e* y = new e;
+      e* z = x;
+      z = y;
+    }
+    """
+    program, steens, andersen = analyses(src)
+    base = AndersenOracle(steens, andersen)
+    tx = TStar(TVar("x"))
+    ty = TStar(TVar("y"))
+    # Steensgaard: same class => may alias
+    from repro.pointer import AliasOracle
+
+    assert AliasOracle(steens).may_alias_terms("f", tx, "f", ty)
+    # Andersen: distinct allocation sites => no alias
+    assert not base.may_alias_terms("f", tx, "f", ty)
+    # but z may alias both
+    tz = TStar(TVar("z"))
+    assert base.may_alias_terms("f", tz, "f", tx)
+    assert base.may_alias_terms("f", tz, "f", ty)
+
+
+def test_engine_accepts_andersen_oracle():
+    src = """
+    struct obj { int* data; }
+    void fig2(obj* y, int* w, int c) {
+      obj* x;
+      x = null;
+      if (c == 0) { x = y; }
+      atomic {
+        x->data = w;
+        int* z = y->data;
+        *z = 0;
+      }
+    }
+    void main() { obj* o = new obj; fig2(o, new int, 1); }
+    """
+    program = lower_program(parse_program(src))
+    steens = PointsTo(program).analyze()
+    andersen = Andersen(program, steens).analyze()
+    cfgs = build_cfgs(program)
+    engine = Engine(program, cfgs, steens, k=9,
+                    oracle=AndersenOracle(steens, andersen))
+    cfg = cfgs["fig2"]
+    section = cfg.sections["fig2#1"]
+    locks = engine.analyze_section("fig2", section).locks
+    fine = {lock.term for lock in locks if lock.is_fine}
+    # x may alias y, so the Figure 2 result still holds under Andersen
+    assert TStar(TVar("w")) in fine

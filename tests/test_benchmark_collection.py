@@ -1,0 +1,60 @@
+"""Guard: the benchmark harnesses stay collectable and importable.
+
+An earlier regression had ``pytest benchmarks/`` collect zero tests because
+the ``bench_*.py`` naming was missing from ``python_files``; this pins both
+the configuration and the imports.
+"""
+
+import importlib.util
+import os
+import sys
+
+try:
+    import tomllib  # py311+
+except ImportError:  # pragma: no cover
+    tomllib = None
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO, "benchmarks")
+
+
+def test_pyproject_collects_bench_files():
+    if tomllib is None:
+        return
+    with open(os.path.join(REPO, "pyproject.toml"), "rb") as handle:
+        config = tomllib.load(handle)
+    patterns = config["tool"]["pytest"]["ini_options"]["python_files"]
+    assert "bench_*.py" in patterns
+
+
+def test_every_bench_module_imports_and_defines_tests():
+    sys.path.insert(0, BENCH_DIR)  # for the local conftest import
+    try:
+        names = [
+            f for f in os.listdir(BENCH_DIR)
+            if f.startswith("bench_") and f.endswith(".py")
+        ]
+        assert len(names) >= 5  # table1, table2, figure7, figure8, ablations
+        for filename in names:
+            path = os.path.join(BENCH_DIR, filename)
+            spec = importlib.util.spec_from_file_location(
+                filename[:-3], path
+            )
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            test_fns = [n for n in dir(module) if n.startswith("test_")]
+            assert test_fns, f"{filename} defines no tests"
+    finally:
+        sys.path.remove(BENCH_DIR)
+
+
+def test_expected_experiment_coverage():
+    names = set(os.listdir(BENCH_DIR))
+    for required in (
+        "bench_table1_analysis_time.py",
+        "bench_table2_execution_times.py",
+        "bench_figure7_lock_distribution.py",
+        "bench_figure8_scalability.py",
+        "bench_ablation_schemes.py",
+    ):
+        assert required in names

@@ -1,0 +1,133 @@
+"""AST builder tests plus a hypothesis printer/parser round-trip fuzz."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.inference import infer_locks
+from repro.lang import ast, parse_program, print_program
+from repro.lang.builder import (
+    addr,
+    assign,
+    atomic,
+    binop,
+    call,
+    decl,
+    deref,
+    expr_stmt,
+    field,
+    func,
+    global_,
+    if_,
+    index,
+    lit,
+    new,
+    nop,
+    not_,
+    null,
+    program,
+    ret,
+    struct,
+    var,
+    while_,
+)
+
+
+def test_builder_constructs_runnable_program():
+    prog = program(
+        struct("node", ("node*", "next"), ("int", "v")),
+        global_("node*", "G"),
+        func(
+            "void", "push", [("int", "x")],
+            atomic(
+                decl("node*", "n", new("node")),
+                assign(field(var("n"), "v"), var("x")),
+                assign(field(var("n"), "next"), var("G")),
+                assign(var("G"), var("n")),
+            ),
+        ),
+        func("void", "main", [], expr_stmt(call("push", lit(1)))),
+    )
+    # text round trip
+    text = print_program(prog)
+    reparsed = parse_program(text)
+    assert print_program(reparsed) == text
+    # and the analysis handles it
+    result = infer_locks(prog, k=9)
+    locks = result.locks_for("push#1").locks
+    assert any(lock.is_fine for lock in locks)
+
+
+def test_builder_control_flow():
+    prog = program(
+        func(
+            "int", "f", [("int", "n")],
+            decl("int", "i", lit(0)),
+            decl("int", "total", lit(0)),
+            while_(
+                binop("<", var("i"), var("n")),
+                if_(
+                    binop("==", binop("%", var("i"), lit(2)), lit(0)),
+                    [assign(var("total"), binop("+", var("total"), var("i")))],
+                    [nop(1)],
+                ),
+                assign(var("i"), binop("+", var("i"), lit(1))),
+            ),
+            ret(var("total")),
+        ),
+    )
+    text = print_program(prog)
+    assert parse_program(text).functions["f"].param_names == ["n"]
+
+
+def test_builder_pointer_helpers():
+    expr = addr(field(deref(var("p")), "next"))
+    assert isinstance(expr, ast.AddrOf)
+    arr = index(var("a"), binop("+", var("i"), lit(1)))
+    assert isinstance(arr, ast.IndexAccess)
+    assert isinstance(not_(null()), ast.Unary)
+
+
+# ---------------------------------------------------------------------------
+# round-trip fuzz: random expressions through print -> parse -> print
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "p", "q"])
+
+
+def _expr_strategy():
+    base = st.one_of(
+        _names.map(ast.Var),
+        st.integers(0, 99).map(ast.IntLit),
+        st.just(ast.Null()),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children).map(lambda t: ast.Deref(t[0])),
+            st.tuples(children, st.sampled_from(["next", "data", "v"])).map(
+                lambda t: ast.FieldAccess(t[0], t[1])
+            ),
+            st.tuples(children, children).map(
+                lambda t: ast.IndexAccess(t[0], t[1])
+            ),
+            st.tuples(
+                st.sampled_from(["+", "-", "*", "==", "!=", "<", "&&", "||"]),
+                children,
+                children,
+            ).map(lambda t: ast.Binary(t[0], t[1], t[2])),
+            st.tuples(children).map(lambda t: ast.Unary("!", t[0])),
+        )
+
+    return st.recursive(base, extend, max_leaves=12)
+
+
+@given(expr=_expr_strategy())
+@settings(max_examples=300, deadline=None)
+def test_expression_print_parse_roundtrip(expr):
+    """print(parse(print(e))) == print(e): the printer emits syntax the
+    parser maps back to the same tree (modulo the printer's parentheses)."""
+    from repro.lang.parser import parse_expr
+
+    text = str(expr)
+    reparsed = parse_expr(text)
+    assert str(reparsed) == text

@@ -1,0 +1,117 @@
+"""CFG construction tests."""
+
+import pytest
+
+from repro.cfg import build_cfg, build_cfgs
+from repro.lang import lower_program, parse_program
+
+
+def cfg_of(source, func="f"):
+    program = lower_program(parse_program(source))
+    return build_cfg(program.functions[func])
+
+
+def test_straightline_chain():
+    cfg = cfg_of("void f(int x) { x = 1; x = 2; x = 3; }")
+    node = cfg.entry
+    seen = []
+    while node.succs:
+        node = node.succs[0]
+        if node.kind == "instr":
+            seen.append(str(node.instr))
+    assert seen == ["x = 1", "x = 2", "x = 3"]
+
+
+def test_if_has_two_way_branch_and_join():
+    cfg = cfg_of("void f(int x) { if (x == 0) { x = 1; } else { x = 2; } x = 3; }")
+    branches = [n for n in cfg.nodes if n.kind == "branch"]
+    assert len(branches) == 1
+    assert len(branches[0].succs) == 2
+
+
+def test_if_without_else_falls_through():
+    cfg = cfg_of("void f(int x) { if (x == 0) { x = 1; } x = 2; }")
+    branch = next(n for n in cfg.nodes if n.kind == "branch")
+    join = next(n for n in cfg.nodes if n.kind == "join")
+    assert branch in join.preds or any(
+        p.kind == "branch" for p in join.preds
+    )
+
+
+def test_while_back_edge():
+    cfg = cfg_of("void f(int x) { while (x < 10) { x = x + 1; } }")
+    head = next(n for n in cfg.nodes if n.kind == "branch")
+    # some node in the body must have an edge back to the loop head
+    assert any(head in n.succs for n in cfg.nodes if n is not head and n.kind != "entry")
+
+
+def test_early_return_edges_to_exit():
+    cfg = cfg_of("int f(int x) { if (x == 0) { return 1; } return 2; }")
+    returns = [n for n in cfg.nodes if n.kind == "instr" and "return" in str(n.instr)]
+    assert len(returns) == 2
+    for node in returns:
+        assert cfg.exit in node.succs
+
+
+def test_atomic_section_markers_and_nodes():
+    cfg = cfg_of("int g;\nvoid f() { g = 0; atomic { g = 1; g = 2; } g = 3; }")
+    assert list(cfg.sections) == ["f#1"]
+    info = cfg.sections["f#1"]
+    assert info.enter.kind == "atomic_enter"
+    assert info.exit.kind == "atomic_exit"
+    instrs_in = [n for n in info.nodes if n.kind == "instr"]
+    texts = {str(n.instr) for n in instrs_in}
+    assert any("1" in t for t in texts) and any("2" in t for t in texts)
+    assert not any("g = 0" == t for t in texts)
+    assert not any("g = 3" == t for t in texts)
+
+
+def test_nested_sections_record_depth():
+    cfg = cfg_of("int g;\nvoid f() { atomic { atomic { g = 1; } } }")
+    assert cfg.sections["f#1"].depth == 1
+    assert cfg.sections["f#2"].depth == 2
+    # the inner section's nodes are part of the outer region
+    inner_enter = cfg.sections["f#2"].enter
+    assert inner_enter in cfg.sections["f#1"].nodes
+
+
+def test_return_inside_atomic_rejected():
+    with pytest.raises(ValueError):
+        cfg_of("int g;\nint f() { atomic { return 1; } }")
+
+
+def test_section_nodes_include_branches_and_loops():
+    cfg = cfg_of(
+        """
+        int g;
+        void f(int n) {
+          atomic {
+            int i = 0;
+            while (i < n) { g = g + i; i = i + 1; }
+          }
+        }
+        """
+    )
+    info = cfg.sections["f#1"]
+    kinds = {n.kind for n in info.nodes}
+    assert "branch" in kinds
+
+
+def test_reverse_postorder_starts_at_entry():
+    cfg = cfg_of("void f(int x) { if (x == 0) { x = 1; } x = 2; }")
+    order = cfg.reverse_postorder()
+    assert order[0] is cfg.entry
+    positions = {n.uid: i for i, n in enumerate(order)}
+    for node in order:
+        for succ in node.succs:
+            if succ.uid in positions and positions[succ.uid] < positions[node.uid]:
+                # only back edges may violate the order; those target branches
+                assert succ.kind == "branch"
+
+
+def test_build_cfgs_covers_all_functions():
+    program = lower_program(
+        parse_program("void a() { }\nvoid b() { a(); }\nvoid main() { b(); }")
+    )
+    cfgs = build_cfgs(program)
+    assert set(cfgs) == {"a", "b", "main"}

@@ -1,0 +1,186 @@
+"""Soundness checker tests (paper §4.2): the operational "stuck" check must
+catch unprotected accesses and accept properly protected ones."""
+
+import pytest
+
+from repro.inference import infer_locks, transform_program, transform_with_inference
+from repro.inference.engine import SectionLocks
+from repro.interp import ProtectionError, ThreadExec, World
+from repro.interp.checker import SerializabilityAuditor
+from repro.locks import RO, RW, coarse_lock, global_lock
+from repro.memory import Heap, Loc
+from repro.sim import Scheduler
+
+SRC = """
+struct c { int v; }
+c* C;
+void put(int x) { atomic { C->v = x; } }
+int get() { int r; atomic { r = C->v; } return r; }
+void main() { C = new c; put(1); int g = get(); }
+"""
+
+
+def run_seq(world, func, args=()):
+    gen = ThreadExec(world, 999, mode="seq").call(func, list(args))
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+def run_locks(world, calls, tid=0):
+    gen = ThreadExec(world, tid, mode="locks").run_ops(calls)
+    try:
+        while True:
+            next(gen)
+    except StopIteration:
+        pass
+
+
+def test_correct_locks_pass():
+    result = infer_locks(SRC, k=9)
+    world = World(transform_with_inference(result), pointsto=result.pointsto)
+    run_seq(world, "main")
+    run_locks(world, [("put", (5,)), ("get", ())])
+    assert world.checker.checked > 0
+
+
+def test_empty_lock_set_is_caught():
+    result = infer_locks(SRC, k=9)
+    # sabotage: give put no locks at all
+    broken = dict(result.sections)
+    broken["put#1"] = SectionLocks("put#1", "put", frozenset())
+    world = World(
+        transform_program(result.program, broken), pointsto=result.pointsto
+    )
+    run_seq(world, "main")
+    with pytest.raises(ProtectionError):
+        run_locks(world, [("put", (5,))])
+
+
+def test_read_lock_insufficient_for_write():
+    result = infer_locks(SRC, k=9)
+    # sabotage: protect put's write with only a read-mode global lock
+    broken = dict(result.sections)
+    broken["put#1"] = SectionLocks(
+        "put#1", "put", frozenset({global_lock(RO)})
+    )
+    world = World(
+        transform_program(result.program, broken), pointsto=result.pointsto
+    )
+    run_seq(world, "main")
+    with pytest.raises(ProtectionError):
+        run_locks(world, [("put", (5,))])
+
+
+def test_wrong_class_coarse_lock_is_caught():
+    result = infer_locks(SRC, k=9)
+    # find a class id that is NOT the protected cell's class
+    real = next(iter(result.sections["put#1"].locks))
+    wrong_cls = (real.cls or 0) + 12345
+    broken = dict(result.sections)
+    broken["put#1"] = SectionLocks(
+        "put#1", "put", frozenset({coarse_lock(wrong_cls, RW)})
+    )
+    world = World(
+        transform_program(result.program, broken), pointsto=result.pointsto
+    )
+    run_seq(world, "main")
+    with pytest.raises(ProtectionError):
+        run_locks(world, [("put", (5,))])
+
+
+def test_global_lock_always_passes():
+    result = infer_locks(SRC, k=9)
+    forced = {
+        sid: SectionLocks(sid, info.func_name, frozenset({global_lock(RW)}))
+        for sid, info in result.sections.items()
+    }
+    world = World(
+        transform_program(result.program, forced), pointsto=result.pointsto
+    )
+    run_seq(world, "main")
+    run_locks(world, [("put", (5,)), ("get", ())])
+
+
+def test_accesses_outside_atomic_not_checked():
+    """Weak atomicity: non-atomic accesses are not the checker's business."""
+    src = """
+    int g;
+    void raw() { g = g + 1; }
+    void main() { raw(); }
+    """
+    result = infer_locks(src, k=9)
+    world = World(transform_with_inference(result), pointsto=result.pointsto)
+    run_seq(world, "main")
+    run_locks(world, [("raw", ())])
+    assert world.checker.checked == 0
+
+
+# ---------------------------------------------------------------------------
+# serializability auditor
+# ---------------------------------------------------------------------------
+
+
+def _loc(heap):
+    obj = heap.new_obj(None, "heap", "x")
+    obj.cells["v"] = 0
+    return Loc(obj, "v")
+
+
+def test_auditor_accepts_serial_history():
+    auditor = SerializabilityAuditor()
+    heap = Heap()
+    loc = _loc(heap)
+    a = auditor.begin_instance("s1")
+    auditor.record(a, loc, RW)
+    b = auditor.begin_instance("s2")
+    auditor.record(b, loc, RW)
+    assert auditor.find_cycle() is None
+    auditor.assert_serializable()
+
+
+def test_auditor_detects_interleaved_writes():
+    auditor = SerializabilityAuditor()
+    heap = Heap()
+    loc1, loc2 = _loc(heap), _loc(heap)
+    a = auditor.begin_instance("s1")
+    b = auditor.begin_instance("s2")
+    # a -> b on loc1, b -> a on loc2: a cycle
+    auditor.record(a, loc1, RW)
+    auditor.record(b, loc1, RW)
+    auditor.record(b, loc2, RW)
+    auditor.record(a, loc2, RW)
+    assert auditor.find_cycle() is not None
+    with pytest.raises(ProtectionError):
+        auditor.assert_serializable()
+
+
+def test_auditor_reads_do_not_conflict():
+    auditor = SerializabilityAuditor()
+    heap = Heap()
+    loc = _loc(heap)
+    a = auditor.begin_instance("s1")
+    b = auditor.begin_instance("s2")
+    auditor.record(a, loc, RO)
+    auditor.record(b, loc, RO)
+    auditor.record(a, loc, RO)
+    assert auditor.find_cycle() is None
+
+
+def test_end_to_end_runs_are_serializable():
+    result = infer_locks(SRC, k=9)
+    world = World(
+        transform_with_inference(result), pointsto=result.pointsto, audit=True
+    )
+    run_seq(world, "main")
+    scheduler = Scheduler(ncores=4)
+    for tid in range(4):
+        scheduler.spawn(
+            ThreadExec(world, tid, mode="locks").run_ops(
+                [("put", (tid,)), ("get", ()), ("put", (tid + 10,))]
+            )
+        )
+    scheduler.run()
+    world.auditor.assert_serializable()

@@ -1,0 +1,79 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+MOVE = """
+struct elem { elem* next; }
+struct list { elem* head; }
+void move(list* from, list* to) {
+  atomic {
+    elem* x = to->head;
+    to->head = from->head;
+    from->head = x;
+  }
+}
+void main() { list* a = new list; list* b = new list; move(a, b); }
+"""
+
+
+@pytest.fixture
+def move_file(tmp_path):
+    path = tmp_path / "move.mc"
+    path.write_text(MOVE)
+    return str(path)
+
+
+def test_analyze(move_file, capsys):
+    assert main(["analyze", move_file, "--k", "9"]) == 0
+    out = capsys.readouterr().out
+    assert "move#1" in out
+    assert "fine-rw" in out
+
+
+def test_analyze_no_effects(move_file, capsys):
+    assert main(["analyze", move_file, "--no-effects"]) == 0
+    out = capsys.readouterr().out
+    assert "0 fine-ro" in out  # everything promoted to rw
+
+
+def test_transform(move_file, capsys):
+    assert main(["transform", move_file]) == 0
+    out = capsys.readouterr().out
+    assert "acquireAll" in out and "releaseAll" in out
+
+
+def test_run_benchmark(capsys):
+    code = main([
+        "run", "hashtable-2", "--config", "coarse",
+        "--threads", "2", "--ops", "5",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ticks" in out
+    assert "checker validated" in out
+
+
+def test_run_stm_reports_aborts(capsys):
+    code = main([
+        "run", "rbtree", "--config", "stm", "--threads", "2", "--ops", "5",
+    ])
+    assert code == 0
+    assert "commits" in capsys.readouterr().out
+
+
+def test_run_unknown_benchmark(capsys):
+    assert main(["run", "nope", "--config", "stm"]) == 2
+
+
+def test_list_benchmarks(capsys):
+    assert main(["list-benchmarks"]) == 0
+    out = capsys.readouterr().out
+    for name in ("rbtree", "hashtable-2", "vacation", "labyrinth"):
+        assert name in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,165 @@
+"""Engine internals: summaries, fixpoints, statistics, and edge cases."""
+
+from repro.cfg import build_cfgs
+from repro.inference import Engine, infer_locks
+from repro.lang import lower_program, parse_program
+from repro.locks import RO, RW
+from repro.locks.terms import TPlus, TStar, TVar
+from repro.pointer import PointsTo
+
+
+def engine_for(source, k=9, **kw):
+    program = lower_program(parse_program(source))
+    pointsto = PointsTo(program).analyze()
+    cfgs = build_cfgs(program)
+    return Engine(program, cfgs, pointsto, k=k, **kw), cfgs
+
+
+MUTUAL = """
+struct n { n* next; int v; }
+n* HEAD;
+void even(n* c, int depth) {
+  if (c != null) {
+    c->v = depth;
+    odd(c->next, depth + 1);
+  }
+}
+void odd(n* c, int depth) {
+  if (c != null) {
+    c->v = depth;
+    even(c->next, depth + 1);
+  }
+}
+void f() { atomic { even(HEAD, 0); } }
+void main() { HEAD = new n; f(); }
+"""
+
+
+def test_mutually_recursive_summaries_converge():
+    engine, cfgs = engine_for(MUTUAL)
+    section = cfgs["f"].sections["f#1"]
+    locks = engine.analyze_section("f", section).locks
+    assert locks
+    # the traversal's writes are covered (coarse, unbounded depth)
+    assert any(lock.eff == RW for lock in locks)
+    # summary machinery actually ran
+    assert engine.stats["summary_runs"] > 0
+    assert engine.stats["dataflow_steps"] > 0
+
+
+def test_summary_results_cached_across_sections():
+    src = """
+    struct c { int v; }
+    c* C;
+    void bump() { C->v = C->v + 1; }
+    void f() { atomic { bump(); } }
+    void g() { atomic { bump(); } }
+    void main() { C = new c; f(); g(); }
+    """
+    engine, cfgs = engine_for(src)
+    engine.analyze_section("f", cfgs["f"].sections["f#1"])
+    runs_after_first = engine.stats["summary_runs"]
+    engine.analyze_section("g", cfgs["g"].sections["g#1"])
+    # the access summary of bump is reused, not recomputed from scratch
+    assert engine.stats["summary_runs"] <= runs_after_first + 2
+
+
+def test_loop_fixpoint_is_stable():
+    """Terms circulating a loop must reach a fixpoint, including traversal
+    rotations (x = x->next) that regenerate the same k-limited set."""
+    src = """
+    struct n { n* next; int v; }
+    n* HEAD;
+    void f(int m) {
+      atomic {
+        n* x = HEAD;
+        int i = 0;
+        while (i < m) {
+          x = x->next;
+          x->v = i;
+          i = i + 1;
+        }
+      }
+    }
+    void main() { HEAD = new n; f(2); }
+    """
+    result = infer_locks(src, k=9)
+    locks = result.locks_for("f#1").locks
+    assert any(lock.is_coarse and lock.eff == RW for lock in locks)
+    fine_terms = {lock.term for lock in locks if lock.is_fine}
+    # HEAD's cell read is still fine-grain
+    assert TVar("HEAD") in fine_terms
+
+
+def test_effect_join_within_section():
+    """A location both read and written ends with a single rw lock."""
+    src = """
+    struct c { int v; }
+    c* C;
+    void f() {
+      atomic {
+        int r = C->v;
+        C->v = r + 1;
+      }
+    }
+    void main() { C = new c; f(); }
+    """
+    result = infer_locks(src, k=9)
+    locks = result.locks_for("f#1").locks
+    v_locks = [
+        lock for lock in locks
+        if lock.is_fine and lock.term == TPlus(TStar(TVar("C")), "v")
+    ]
+    assert len(v_locks) == 1
+    assert v_locks[0].eff == RW
+
+
+def test_branch_dependent_targets_both_locked():
+    src = """
+    struct c { int v; }
+    c* A;
+    c* B;
+    void f(int s) {
+      atomic {
+        c* t = A;
+        if (s == 0) { t = B; }
+        t->v = 1;
+      }
+    }
+    void main() { A = new c; B = new c; f(0); }
+    """
+    result = infer_locks(src, k=9)
+    locks = result.locks_for("f#1").locks
+    fine_rw = {lock.term for lock in locks if lock.is_fine and lock.eff == RW}
+    assert TPlus(TStar(TVar("A")), "v") in fine_rw
+    assert TPlus(TStar(TVar("B")), "v") in fine_rw
+
+
+def test_k_monotonicity_of_fine_locks():
+    """Larger k never yields fewer fine-grain locks on the same program."""
+    from repro.bench.programs.micro import HASHTABLE2_SRC
+
+    previous = -1
+    for k in (0, 2, 4, 6, 9):
+        counts = infer_locks(HASHTABLE2_SRC, k=k).lock_counts()
+        fine = counts.fine_ro + counts.fine_rw
+        assert fine >= previous
+        previous = fine
+
+
+def test_deeper_paths_need_larger_k():
+    src = """
+    struct a { a* f; int v; }
+    a* G;
+    void f() {
+      atomic {
+        G->f->f->v = 1;
+      }
+    }
+    void main() { G = new a; G->f = new a; G->f->f = new a; f(); }
+    """
+    # the access path is *((*( (*Ḡ)+f ))+f)+v — size 6
+    shallow = infer_locks(src, k=3).lock_counts()
+    deep = infer_locks(src, k=7).lock_counts()
+    assert deep.fine_rw > 0
+    assert shallow.fine_rw == 0

@@ -1,0 +1,95 @@
+"""Benchmark harness tests."""
+
+import pytest
+
+from repro.bench import ALL_BENCHMARKS, run_benchmark
+from repro.bench.harness import build_world, run_seq
+from repro.interp import World
+
+
+def test_build_world_modes():
+    spec = ALL_BENCHMARKS["rbtree"]
+    for config, expected_mode in (
+        ("global", "locks"),
+        ("coarse", "locks"),
+        ("fine+coarse", "locks"),
+        ("stm", "stm"),
+    ):
+        world, mode = build_world(spec, config)
+        assert mode == expected_mode
+        assert isinstance(world, World)
+
+
+def test_setup_ran_before_workload():
+    spec = ALL_BENCHMARKS["rbtree"]
+    world, _ = build_world(spec, "stm")
+    assert any(o.label == "rbtree" for o in world.heap.objects.values())
+
+
+def test_run_result_label():
+    spec = ALL_BENCHMARKS["rbtree"]
+    result = run_benchmark(spec, "stm", threads=2, setting="low", n_ops=5)
+    assert result.label == "rbtree-low"
+    result2 = run_benchmark(ALL_BENCHMARKS["genome"], "stm", threads=2, n_ops=5)
+    assert result2.label == "genome"
+
+
+def test_runs_are_deterministic():
+    spec = ALL_BENCHMARKS["hashtable-2"]
+    a = run_benchmark(spec, "fine+coarse", threads=4, setting="high", n_ops=10)
+    b = run_benchmark(spec, "fine+coarse", threads=4, setting="high", n_ops=10)
+    assert a.ticks == b.ticks
+    assert a.blocked_ticks == b.blocked_ticks
+
+
+def test_different_seeds_differ():
+    spec = ALL_BENCHMARKS["hashtable-2"]
+    a = run_benchmark(spec, "fine+coarse", threads=4, setting="high",
+                      n_ops=10, seed=1)
+    b = run_benchmark(spec, "fine+coarse", threads=4, setting="high",
+                      n_ops=10, seed=2)
+    assert a.ticks != b.ticks  # overwhelmingly likely with random keys
+
+
+def test_more_cores_never_hurt_much():
+    spec = ALL_BENCHMARKS["hashtable-2"]
+    slow = run_benchmark(spec, "fine+coarse", threads=8, setting="low",
+                         n_ops=15, ncores=1)
+    fast = run_benchmark(spec, "fine+coarse", threads=8, setting="low",
+                         n_ops=15, ncores=8)
+    assert fast.ticks < slow.ticks
+
+
+def test_stm_config_runs_original_program():
+    spec = ALL_BENCHMARKS["rbtree"]
+    world, mode = build_world(spec, "stm")
+    from repro.lang import ir
+
+    instrs = [
+        i
+        for func in world.program.functions.values()
+        for i in ir.walk_instrs(func.body)
+    ]
+    assert any(isinstance(i, ir.IAtomic) for i in instrs)
+    assert not any(isinstance(i, ir.IAcquireAll) for i in instrs)
+
+
+def test_lock_configs_run_transformed_program():
+    spec = ALL_BENCHMARKS["rbtree"]
+    world, mode = build_world(spec, "coarse")
+    from repro.lang import ir
+
+    instrs = [
+        i
+        for func in world.program.functions.values()
+        for i in ir.walk_instrs(func.body)
+    ]
+    assert not any(isinstance(i, ir.IAtomic) for i in instrs)
+    assert any(isinstance(i, ir.IAcquireAll) for i in instrs)
+
+
+def test_checker_can_be_disabled():
+    spec = ALL_BENCHMARKS["rbtree"]
+    result = run_benchmark(spec, "coarse", threads=2, setting="low", n_ops=5,
+                           check=False)
+    assert result.checked_accesses == 0

@@ -1,0 +1,200 @@
+"""Sequential interpreter tests: mini-C semantics."""
+
+import pytest
+
+from repro.interp import InterpError, ThreadExec, World
+from repro.lang import lower_program, parse_program
+
+
+def world_for(source, **kw):
+    return World(lower_program(parse_program(source)), **kw)
+
+
+def run(world, func, args=()):
+    gen = ThreadExec(world, 0, mode="seq").call(func, list(args))
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+def eval_main(source, func="main", args=()):
+    return run(world_for(source), func, args)
+
+
+def test_arithmetic():
+    src = "int main() { return (3 + 4) * 2 - 10 / 3 % 2; }"
+    assert eval_main(src) == 13  # 14 - (3 % 2)
+
+
+def test_comparisons_and_logic():
+    src = """
+    int main() {
+      int a = 3 < 5;
+      int b = 5 <= 5;
+      int c = 2 > 7;
+      int d = !c;
+      int e = a && b;
+      int f = c || d;
+      return a + b + c + d + e + f;
+    }
+    """
+    assert eval_main(src) == 5
+
+
+def test_shortcircuit_avoids_null_deref():
+    src = """
+    struct e { e* next; int v; }
+    int main() {
+      e* x = null;
+      if (x != null && x->v == 1) { return 1; }
+      return 0;
+    }
+    """
+    assert eval_main(src) == 0
+
+
+def test_struct_fields_and_loops():
+    src = """
+    struct node { node* next; int v; }
+    int main() {
+      node* head = null;
+      int i = 0;
+      while (i < 5) {
+        node* n = new node;
+        n->v = i;
+        n->next = head;
+        head = n;
+        i = i + 1;
+      }
+      int total = 0;
+      node* c = head;
+      while (c != null) { total = total + c->v; c = c->next; }
+      return total;
+    }
+    """
+    assert eval_main(src) == 10
+
+
+def test_arrays():
+    src = """
+    int main() {
+      int* a = new int[4];
+      int i = 0;
+      while (i < 4) { a[i] = i * i; i = i + 1; }
+      return a[0] + a[1] + a[2] + a[3];
+    }
+    """
+    assert eval_main(src) == 14
+
+
+def test_pointer_array():
+    src = """
+    struct e { int v; }
+    int main() {
+      e** a = new e*[2];
+      a[0] = new e;
+      a[1] = new e;
+      a[0]->v = 7;
+      a[1]->v = 8;
+      return a[0]->v + a[1]->v;
+    }
+    """
+    assert eval_main(src) == 15
+
+
+def test_function_calls_and_recursion():
+    src = """
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { return fib(10); }
+    """
+    assert eval_main(src) == 55
+
+
+def test_address_of_and_deref():
+    src = """
+    void setit(int* p) { *p = 99; }
+    int main() {
+      int x = 0;
+      setit(&x);
+      return x;
+    }
+    """
+    assert eval_main(src) == 99
+
+
+def test_globals():
+    src = """
+    int counter;
+    void bump() { counter = counter + 1; }
+    int main() { bump(); bump(); bump(); return counter; }
+    """
+    assert eval_main(src) == 3
+
+
+def test_local_shadows_global():
+    src = """
+    int g;
+    int f() { int g = 5; return g; }
+    int main() { g = 1; return f() + g; }
+    """
+    assert eval_main(src) == 6
+
+
+def test_null_deref_is_stuck():
+    src = "int main() { int* p = null; return *p; }"
+    with pytest.raises(InterpError):
+        eval_main(src)
+
+
+def test_division_by_zero_is_stuck():
+    src = "int main() { int z = 0; return 1 / z; }"
+    with pytest.raises(InterpError):
+        eval_main(src)
+
+
+def test_atomic_in_seq_mode_is_transparent():
+    src = "int g;\nint main() { atomic { g = 7; } return g; }"
+    assert eval_main(src) == 7
+
+
+def test_nop_costs_ticks():
+    world = world_for("void main() { nop(50); }")
+    gen = ThreadExec(world, 0, mode="seq").call("main", [])
+    ticks = 0
+    try:
+        while True:
+            event = next(gen)
+            ticks += event if isinstance(event, int) else 1
+    except StopIteration:
+        pass
+    assert ticks >= 50
+
+
+def test_uninitialized_locals_are_null():
+    src = """
+    struct e { int v; }
+    int main() {
+      e* p;
+      if (p == null) { return 1; }
+      return 0;
+    }
+    """
+    assert eval_main(src) == 1
+
+
+def test_unknown_function_is_stuck():
+    with pytest.raises(InterpError):
+        eval_main("int main() { return mystery(); }")
+
+
+def test_locks_mode_rejects_untransformed_atomic():
+    world = world_for("int g;\nvoid main() { atomic { g = 1; } }")
+    gen = ThreadExec(world, 0, mode="locks").call("main", [])
+    with pytest.raises(InterpError):
+        for _ in gen:
+            pass

@@ -1,0 +1,163 @@
+"""Concurrent interpreter integration tests (locks mode, nesting, stats)."""
+
+import pytest
+
+from repro.inference import infer_locks, transform_with_inference
+from repro.interp import ThreadExec, World
+from repro.sim import Scheduler
+
+COUNTER = """
+struct counter { int value; }
+counter* C;
+void incr() {
+  atomic {
+    int v = C->value;
+    nop(2);
+    C->value = v + 1;
+  }
+}
+int get() {
+  int v;
+  atomic { v = C->value; }
+  return v;
+}
+void main() { C = new counter; incr(); int g = get(); }
+"""
+
+
+def make_world(src=COUNTER, k=9, **kw):
+    result = infer_locks(src, k=k)
+    world = World(transform_with_inference(result), pointsto=result.pointsto,
+                  **kw)
+    run_seq(world, "main")
+    return world
+
+
+def run_seq(world, func, args=()):
+    gen = ThreadExec(world, 999, mode="seq").call(func, list(args))
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+def counter_value(world):
+    return next(o.cells["value"] for o in world.heap.objects.values()
+                if o.label == "counter")
+
+
+def test_exclusive_sections_do_not_lose_updates():
+    world = make_world()
+    scheduler = Scheduler(ncores=8)
+    for tid in range(8):
+        scheduler.spawn(
+            ThreadExec(world, tid, mode="locks").run_ops([("incr", ())] * 10)
+        )
+    scheduler.run()
+    assert counter_value(world) == 81  # 8*10 + main's one
+
+
+def test_exclusive_sections_serialize():
+    """With one shared counter, 8 threads cannot beat ~serial time."""
+    world = make_world()
+    single = Scheduler(ncores=8)
+    single.spawn(ThreadExec(world, 0, mode="locks").run_ops([("incr", ())] * 8))
+    t_single = single.run().ticks
+
+    world2 = make_world()
+    multi = Scheduler(ncores=8)
+    for tid in range(8):
+        multi.spawn(ThreadExec(world2, tid, mode="locks").run_ops([("incr", ())]))
+    t_multi = multi.run().ticks
+    # same total work; concurrency cannot speed up an exclusive section much
+    assert t_multi > 0.6 * t_single
+
+
+def test_readers_run_concurrently():
+    """Read-only sections take S locks and overlap (the rbtree-low effect)."""
+    src = COUNTER.replace("nop(2);", "nop(40);")
+    result = infer_locks(src, k=9)
+    world = World(transform_with_inference(result), pointsto=result.pointsto)
+    run_seq(world, "main")
+
+    def run_gets(threads):
+        w = World(transform_with_inference(result), pointsto=result.pointsto)
+        run_seq(w, "main")
+        scheduler = Scheduler(ncores=8)
+        for tid in range(threads):
+            scheduler.spawn(
+                ThreadExec(w, tid, mode="locks").run_ops([("get", ())] * 4)
+            )
+        return scheduler.run().ticks
+
+    t1, t4 = run_gets(1), run_gets(4)
+    assert t4 < 2.0 * t1  # 4x the work in < 2x the time: readers overlapped
+
+
+def test_blocked_ticks_accounted():
+    world = make_world()
+    scheduler = Scheduler(ncores=8)
+    for tid in range(4):
+        scheduler.spawn(
+            ThreadExec(world, tid, mode="locks").run_ops([("incr", ())] * 5)
+        )
+    stats = scheduler.run()
+    assert stats.blocked_ticks > 0  # contention on the counter's lock
+    assert stats.utilization <= 1.0
+
+
+def test_fresh_tags_cleared_after_section():
+    src = """
+    struct node { node* next; }
+    node* G;
+    void push() {
+      atomic {
+        node* n = new node;
+        n->next = G;
+        G = n;
+      }
+    }
+    void main() { push(); }
+    """
+    world = make_world(src)
+    scheduler = Scheduler(ncores=2)
+    scheduler.spawn(ThreadExec(world, 0, mode="locks").run_ops([("push", ())] * 3))
+    scheduler.run()
+    heap_objs = [o for o in world.heap.objects.values() if o.kind == "heap"]
+    assert all(o.fresh_owner is None for o in heap_objs)
+
+
+def test_mixed_global_and_inferred_threads_interoperate():
+    """Threads running the Global configuration and threads running the
+    fine+coarse configuration share the same lock tree consistently as long
+    as they share a manager: the ⊤ lock conflicts with every intention."""
+    result = infer_locks(COUNTER, k=9)
+    from repro.inference import transform_global
+
+    fine_prog = transform_with_inference(result)
+    world = World(fine_prog, pointsto=result.pointsto)
+    run_seq(world, "main")
+    scheduler = Scheduler(ncores=4)
+    for tid in range(4):
+        scheduler.spawn(
+            ThreadExec(world, tid, mode="locks").run_ops([("incr", ())] * 5)
+        )
+    scheduler.run()
+    assert counter_value(world) == 21
+
+
+def test_run_ops_returns_in_order():
+    world = make_world()
+    collected = []
+
+    def collector(texec):
+        for _ in range(3):
+            value = yield from texec.call("get", [])
+            collected.append(value)
+            yield from texec.call("incr", [])
+
+    scheduler = Scheduler(ncores=1)
+    scheduler.spawn(collector(ThreadExec(world, 0, mode="locks")))
+    scheduler.run()
+    assert collected == [1, 2, 3]

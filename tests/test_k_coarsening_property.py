@@ -1,0 +1,69 @@
+"""Granularity monotonicity property: lowering k only coarsens.
+
+For any program, every lock inferred at a higher k must be covered by
+(≤ in the scheme order) some lock inferred at a lower k — smaller k traces
+fewer expressions, widening them to their points-to class; it never drops
+coverage. Both runs share one points-to analysis so class ids are
+comparable. Checked over the randomized program generator shared with the
+soundness suite and over the benchmark programs.
+"""
+
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from test_soundness_property import build_program  # noqa: E402
+
+from repro.bench import ALL_BENCHMARKS  # noqa: E402
+from repro.cfg import build_cfgs  # noqa: E402
+from repro.inference import Engine  # noqa: E402
+from repro.lang import lower_program, parse_program  # noqa: E402
+from repro.locks import lock_leq  # noqa: E402
+from repro.pointer import PointsTo  # noqa: E402
+
+
+def sections_at_two_ks(source, low_k, high_k):
+    program = lower_program(parse_program(source))
+    pointsto = PointsTo(program).analyze()
+    cfgs = build_cfgs(program)
+    results = {}
+    for k in (low_k, high_k):
+        engine = Engine(program, cfgs, pointsto, k=k)
+        results[k] = {
+            section.section_id: engine.analyze_section(func_name, section)
+            for func_name, cfg in cfgs.items()
+            for section in cfg.sections.values()
+        }
+    return results[low_k], results[high_k]
+
+
+def assert_covered(fine_sections, coarse_sections):
+    for section_id, finer in fine_sections.items():
+        coarser = coarse_sections[section_id].locks
+        for lock in finer.locks:
+            assert any(lock_leq(lock, other) for other in coarser), (
+                f"{section_id}: {lock} not covered at lower k "
+                f"by {sorted(map(str, coarser))}"
+            )
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n_stmts=st.integers(1, 6),
+    ks=st.tuples(st.integers(0, 4), st.integers(5, 9)),
+)
+@settings(max_examples=25, deadline=None)
+def test_lower_k_covers_higher_k_random_programs(seed, n_stmts, ks):
+    low_k, high_k = ks
+    source = build_program(seed, n_stmts)
+    coarse, fine = sections_at_two_ks(source, low_k, high_k)
+    assert_covered(fine, coarse)
+
+
+def test_lower_k_covers_higher_k_benchmarks():
+    for name in ("hashtable-2", "rbtree", "TH", "vacation"):
+        source = ALL_BENCHMARKS[name].source
+        coarse, fine = sections_at_two_ks(source, 0, 9)
+        assert_covered(fine, coarse)

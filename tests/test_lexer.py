@@ -1,0 +1,70 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.lang.lexer import LexError, Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+def test_empty_input_yields_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == "eof"
+
+
+def test_identifiers_and_keywords():
+    assert kinds("while foo atomic bar_2") == [
+        ("kw", "while"),
+        ("ident", "foo"),
+        ("kw", "atomic"),
+        ("ident", "bar_2"),
+    ]
+
+
+def test_numbers():
+    assert kinds("0 42 1234567") == [("int", "0"), ("int", "42"), ("int", "1234567")]
+
+
+def test_two_char_operators_take_precedence():
+    assert [t for _, t in kinds("a->b == c != d <= e >= f && g || h")] == [
+        "a", "->", "b", "==", "c", "!=", "d", "<=", "e", ">=", "f", "&&", "g",
+        "||", "h",
+    ]
+
+
+def test_single_char_operators():
+    assert [t for _, t in kinds("*x = &y + z % w;")] == [
+        "*", "x", "=", "&", "y", "+", "z", "%", "w", ";",
+    ]
+
+
+def test_line_comments_are_skipped():
+    assert kinds("a // comment here\nb") == [("ident", "a"), ("ident", "b")]
+
+
+def test_block_comments_are_skipped():
+    assert kinds("a /* multi\nline */ b") == [("ident", "a"), ("ident", "b")]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_line_numbers_tracked():
+    tokens = tokenize("a\nb\n\nc")
+    lines = {t.text: t.line for t in tokens if t.kind == "ident"}
+    assert lines == {"a": 1, "b": 2, "c": 4}
+
+
+def test_unknown_character_raises_with_line():
+    with pytest.raises(LexError) as err:
+        tokenize("a\n@")
+    assert err.value.line == 2
+
+
+def test_dollar_names_allowed():
+    assert kinds("$t1") == [("ident", "$t1")]

@@ -1,0 +1,171 @@
+"""Lowering tests: surface AST -> simple statement IR."""
+
+import pytest
+
+from repro.lang import ast, ir, lower_program, parse_program
+from repro.lang.lower import LoweringError, copy_instrs
+
+
+def lower(source):
+    return lower_program(parse_program(source))
+
+
+def body_of(source, func="f"):
+    return lower(source).functions[func].body
+
+
+def all_instrs(source, func="f"):
+    return list(ir.walk_instrs(body_of(source, func)))
+
+
+def test_simple_copy_forms():
+    body = body_of(
+        """
+        struct e { e* next; }
+        void f(e* y) {
+          e* x = y;
+          e* z = null;
+          int c = 5;
+        }
+        """
+    )
+    assert isinstance(body[0].rhs, ir.RVar)
+    assert isinstance(body[1].rhs, ir.RNull)
+    assert isinstance(body[2].rhs, ir.RConst)
+
+
+def test_field_read_becomes_addr_plus_load():
+    body = body_of("struct e { e* next; }\nvoid f(e* y) { e* x = y->next; }")
+    assert isinstance(body[0].rhs, ir.RFieldAddr)
+    assert body[0].rhs.fieldname == "next"
+    assert isinstance(body[1].rhs, ir.RLoad)
+    assert body[1].dest == "x"  # loaded straight into x, no extra copy
+
+
+def test_field_write_becomes_addr_plus_store():
+    body = body_of("struct e { e* next; }\nvoid f(e* y, e* v) { y->next = v; }")
+    assert isinstance(body[0].rhs, ir.RFieldAddr)
+    assert isinstance(body[1], ir.IStore)
+
+
+def test_index_access():
+    body = body_of("void f(int* a, int i) { int x = a[i]; }")
+    assert isinstance(body[0].rhs, ir.RIndexAddr)
+    assert isinstance(body[1].rhs, ir.RLoad)
+
+
+def test_addr_of_deref_cancels():
+    body = body_of("void f(int* p) { int* q = &*p; }")
+    # &*p == p: a single copy
+    assert isinstance(body[0].rhs, ir.RVar)
+    assert body[0].rhs.src == "p"
+
+
+def test_addr_of_variable():
+    body = body_of("void f(int x) { int* p = &x; }")
+    assert isinstance(body[0].rhs, ir.RAddrVar)
+
+
+def test_shortcircuit_and_lowers_to_branch():
+    instrs = all_instrs(
+        "struct e { e* next; }\nvoid f(e* x) { if (x != null && x->next != null) { x = null; } }"
+    )
+    branches = [i for i in instrs if isinstance(i, ir.IIf)]
+    assert len(branches) >= 2  # one for &&, one for the if itself
+
+
+def test_while_cond_reevaluated_in_body():
+    body = body_of(
+        "struct e { e* next; }\nvoid f(e* x) { while (x->next != null) { x = x->next; } }"
+    )
+    loop = next(i for i in body if isinstance(i, ir.IWhile))
+    # the condition temps must be recomputed at the end of the body
+    header_dests = {i.dest for i in body[: body.index(loop)] if isinstance(i, ir.IAssign)}
+    tail_dests = {i.dest for i in loop.body if isinstance(i, ir.IAssign)}
+    assert header_dests <= tail_dests
+
+
+def test_while_with_shortcircuit_keeps_cond_var_aligned():
+    """Regression: short-circuit conditions pre-allocate their result temp;
+    the re-evaluated condition must assign the *same* temp the loop tests."""
+    body = body_of(
+        """
+        struct e { e* next; int key; }
+        void f(e* n, int k) {
+          while (n != null && n->key != k) { n = n->next; }
+        }
+        """
+    )
+    loop = next(i for i in body if isinstance(i, ir.IWhile))
+    cond_var = loop.cond.left
+    assert isinstance(cond_var, ir.VarAtom)
+    reassigned = {
+        i.dest for i in ir.walk_instrs(loop.body) if isinstance(i, ir.IAssign)
+    }
+    assert cond_var.name in reassigned
+
+
+def test_atomic_sections_numbered():
+    program = lower(
+        """
+        int g;
+        void f() { atomic { g = 1; } atomic { g = 2; } }
+        """
+    )
+    sections = [
+        i.section_id
+        for i in ir.walk_instrs(program.functions["f"].body)
+        if isinstance(i, ir.IAtomic)
+    ]
+    assert sections == ["f#1", "f#2"]
+
+
+def test_nested_atomic_sections():
+    program = lower("int g;\nvoid f() { atomic { atomic { g = 1; } } }")
+    atomics = [
+        i for i in ir.walk_instrs(program.functions["f"].body)
+        if isinstance(i, ir.IAtomic)
+    ]
+    assert len(atomics) == 2
+
+
+def test_return_lowered():
+    body = body_of("int f(int x) { return x + 1; }")
+    ret = body[-1]
+    assert isinstance(ret, ir.IReturn)
+    assert isinstance(ret.value, ir.VarAtom)
+
+
+def test_call_as_statement_gets_temp():
+    body = body_of(
+        "void g(int x) { x = x; }\nvoid f() { g(1); }", func="f"
+    )
+    assert isinstance(body[0].rhs, ir.RCall)
+
+
+def test_unary_not_and_minus():
+    body = body_of("void f(int x) { int a = !x; int b = -x; }")
+    rhs = [i.rhs for i in body if isinstance(i, ir.IAssign)]
+    arith = [r for r in rhs if isinstance(r, ir.RArith)]
+    assert any(r.op == "==" for r in arith)  # !x -> x == 0
+    assert any(r.op == "-" for r in arith)  # -x -> 0 - x
+
+
+def test_copy_instrs_is_deep_for_structure():
+    body = body_of(
+        "struct e { e* next; }\nvoid f(e* x) { if (x == null) { x = null; } }"
+    )
+    copied = copy_instrs(body)
+    assert len(copied) == len(body)
+    assert all(a is not b for a, b in zip(copied, body))
+
+
+def test_copy_instrs_rejects_atomic():
+    with pytest.raises(LoweringError):
+        copy_instrs([ir.IAtomic("x#1", [])])
+
+
+def test_locals_recorded():
+    func = lower("void f(int a) { int b = 1; if (a == 1) { int c = 2; } }").functions["f"]
+    assert {"b", "c"} <= set(func.locals)
+    assert func.params == ["a"]

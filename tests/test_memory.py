@@ -1,0 +1,93 @@
+"""Concrete memory model tests."""
+
+import pytest
+
+from repro.memory import Frame, Globals, Heap, InterpError, Loc
+
+
+def test_struct_allocation_defaults():
+    heap = Heap()
+    loc = heap.alloc_struct(0, [("next", None), ("key", 0)], label="e")
+    assert heap.read(Loc(loc.obj, "next")) is None
+    assert heap.read(Loc(loc.obj, "key")) == 0
+    assert loc.off is None  # base cell address
+
+
+def test_array_allocation():
+    heap = Heap()
+    loc = heap.alloc_array(0, 3, default=0)
+    for i in range(3):
+        assert heap.read(loc.offset(i)) == 0
+    with pytest.raises(InterpError):
+        heap.read(loc.offset(5))
+
+
+def test_negative_array_length_rejected():
+    heap = Heap()
+    with pytest.raises(InterpError):
+        heap.alloc_array(0, -1)
+
+
+def test_read_write_roundtrip():
+    heap = Heap()
+    loc = heap.alloc_struct(0, [("v", 0)])
+    heap.write(loc.offset("v"), 42)
+    assert heap.read(loc.offset("v")) == 42
+
+
+def test_write_to_missing_cell_rejected():
+    heap = Heap()
+    loc = heap.alloc_struct(0, [("v", 0)])
+    with pytest.raises(InterpError):
+        heap.write(loc.offset("nope"), 1)
+
+
+def test_loc_equality_and_hash():
+    heap = Heap()
+    loc = heap.alloc_struct(0, [("v", 0)])
+    a, b = loc.offset("v"), loc.offset("v")
+    assert a == b and hash(a) == hash(b)
+    assert a != loc
+    assert a.key == (loc.obj.oid, "v")
+
+
+def test_offset_returns_same_object():
+    heap = Heap()
+    loc = heap.alloc_struct(0, [("v", 0)])
+    assert loc.offset("v").obj is loc.obj
+
+
+def test_frames_are_private_and_snapshotable():
+    heap = Heap()
+    frame = Frame(heap, "f")
+    assert not frame.obj.shared
+    frame.set("x", 1)
+    snap = frame.snapshot()
+    frame.set("x", 2)
+    frame.set("y", 3)
+    frame.restore(snap)
+    assert frame.get("x") == 1
+    assert frame.get("y") is None
+
+
+def test_globals_shared_with_defaults():
+    heap = Heap()
+    globs = Globals(heap, ["g", "h"], {"g": 0})
+    assert globs.obj.shared
+    assert heap.read(globs.cell("g")) == 0
+    assert heap.read(globs.cell("h")) is None
+    assert "g" in globs and "x" not in globs
+
+
+def test_object_ids_unique():
+    heap = Heap()
+    a = heap.alloc_struct(0, [])
+    b = heap.alloc_struct(0, [])
+    assert a.obj.oid != b.obj.oid
+    assert heap.allocations == 2
+
+
+def test_fresh_owner_default_none():
+    heap = Heap()
+    loc = heap.alloc_struct(0, [])
+    assert loc.obj.fresh_owner is None

@@ -1,0 +1,170 @@
+"""Parser tests for the mini-C surface syntax."""
+
+import pytest
+
+from repro.lang import ast, parse_expr, parse_program
+from repro.lang.parser import ParseError
+
+
+def test_struct_declaration():
+    prog = parse_program("struct elem { elem* next; int* data; int key; }")
+    struct = prog.structs["elem"]
+    assert struct.field_names == ["next", "data", "key"]
+    assert struct.fields[0][0] == ast.PtrType("elem")
+    assert struct.fields[2][0] == ast.INT
+
+
+def test_globals_and_functions():
+    prog = parse_program(
+        """
+        int g;
+        elem* head;
+        struct elem { elem* next; }
+        void f(int a, elem* b) { a = 1; }
+        """
+    )
+    assert set(prog.globals) == {"g", "head"}
+    func = prog.functions["f"]
+    assert func.param_names == ["a", "b"]
+    assert func.ret_type == ast.VOID
+
+
+def test_double_pointer_types():
+    prog = parse_program("struct e { e* next; }\ne** table;")
+    assert prog.globals["table"].type == ast.PtrType("e*")
+
+
+def test_precedence_arithmetic():
+    expr = parse_expr("a + b * c")
+    assert isinstance(expr, ast.Binary) and expr.op == "+"
+    assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+
+def test_precedence_comparison_vs_logic():
+    expr = parse_expr("a < b && c == d")
+    assert isinstance(expr, ast.Binary) and expr.op == "&&"
+    assert expr.left.op == "<"
+    assert expr.right.op == "=="
+
+
+def test_field_access_chains():
+    expr = parse_expr("x->next->data")
+    assert isinstance(expr, ast.FieldAccess)
+    assert expr.fieldname == "data"
+    assert isinstance(expr.ptr, ast.FieldAccess)
+    assert expr.ptr.fieldname == "next"
+
+
+def test_index_and_field_mix():
+    expr = parse_expr("t->buckets[h]")
+    assert isinstance(expr, ast.IndexAccess)
+    assert isinstance(expr.base, ast.FieldAccess)
+
+
+def test_address_of_lvalues():
+    expr = parse_expr("&x->next")
+    assert isinstance(expr, ast.AddrOf)
+    assert isinstance(expr.lvalue, ast.FieldAccess)
+
+
+def test_address_of_rvalue_rejected():
+    with pytest.raises(ParseError):
+        parse_expr("&(a + b)")
+
+
+def test_new_forms():
+    assert isinstance(parse_expr("new elem"), ast.New)
+    arr = parse_expr("new elem*[10]")
+    assert isinstance(arr, ast.NewArray)
+    assert arr.type_name == "elem*"
+    assert isinstance(parse_expr("new int"), ast.New)
+
+
+def test_unary_operators():
+    expr = parse_expr("!x")
+    assert isinstance(expr, ast.Unary) and expr.op == "!"
+    neg = parse_expr("-5")
+    assert isinstance(neg, ast.Unary)
+
+
+def test_deref_expression():
+    expr = parse_expr("**p")
+    assert isinstance(expr, ast.Deref)
+    assert isinstance(expr.ptr, ast.Deref)
+
+
+def test_statements():
+    prog = parse_program(
+        """
+        int g;
+        void f(int n) {
+          int x = 0;
+          while (x < n) { x = x + 1; }
+          if (x == n) { g = x; } else { g = 0; }
+          atomic { g = g + 1; }
+          nop(3);
+          return;
+        }
+        """
+    )
+    body = prog.functions["f"].body.stmts
+    assert isinstance(body[0], ast.VarDecl)
+    assert isinstance(body[1], ast.While)
+    assert isinstance(body[2], ast.If)
+    assert isinstance(body[3], ast.Atomic)
+    assert isinstance(body[4], ast.Nop) and body[4].cost == 3
+    assert isinstance(body[5], ast.Return)
+
+
+def test_else_if_chain():
+    prog = parse_program(
+        """
+        void f(int x) {
+          if (x == 0) { x = 1; }
+          else if (x == 1) { x = 2; }
+          else { x = 3; }
+        }
+        """
+    )
+    outer = prog.functions["f"].body.stmts[0]
+    assert isinstance(outer, ast.If)
+    inner = outer.orelse.stmts[0]
+    assert isinstance(inner, ast.If)
+    assert inner.orelse is not None
+
+
+def test_call_statement_and_expression():
+    prog = parse_program(
+        """
+        int g(int a) { return a; }
+        void f() {
+          g(1);
+          int x = g(2) + g(3);
+        }
+        """
+    )
+    stmts = prog.functions["f"].body.stmts
+    assert isinstance(stmts[0], ast.ExprStmt)
+    assert isinstance(stmts[1].init, ast.Binary)
+
+
+def test_invalid_assignment_target():
+    with pytest.raises(ParseError):
+        parse_program("void f() { 1 = 2; }")
+
+
+def test_bare_expression_statement_rejected():
+    with pytest.raises(ParseError):
+        parse_program("void f(int x) { x + 1; }")
+
+
+def test_missing_semicolon():
+    with pytest.raises(ParseError):
+        parse_program("void f() { int x = 1 }")
+
+
+def test_return_with_value():
+    prog = parse_program("int f() { return 42; }")
+    ret = prog.functions["f"].body.stmts[0]
+    assert isinstance(ret, ast.Return)
+    assert isinstance(ret.value, ast.IntLit)

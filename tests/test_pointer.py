@@ -1,0 +1,210 @@
+"""Union-find and Steensgaard points-to analysis tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import lower_program, parse_program
+from repro.pointer import AliasOracle, PointsTo, UnionFind
+from repro.locks.terms import TPlus, TStar, TVar
+
+
+# ---------------------------------------------------------------------------
+# union-find
+# ---------------------------------------------------------------------------
+
+
+def test_unionfind_basics():
+    uf = UnionFind()
+    uf.add("a"), uf.add("b"), uf.add("c")
+    assert not uf.same("a", "b")
+    uf.union("a", "b")
+    assert uf.same("a", "b")
+    assert not uf.same("a", "c")
+    uf.union("b", "c")
+    assert uf.same("a", "c")
+
+
+def test_unionfind_groups():
+    uf = UnionFind()
+    for x in "abcd":
+        uf.add(x)
+    uf.union("a", "b")
+    uf.union("c", "d")
+    groups = {frozenset(v) for v in uf.groups().values()}
+    assert groups == {frozenset("ab"), frozenset("cd")}
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_unionfind_matches_naive_partition(pairs):
+    """Property: union-find agrees with a naive set-merging model."""
+    uf = UnionFind()
+    naive = {i: {i} for i in range(21)}
+    for i in range(21):
+        uf.add(i)
+    for a, b in pairs:
+        uf.union(a, b)
+        merged = naive[a] | naive[b]
+        for member in merged:
+            naive[member] = merged
+    for i in range(21):
+        for j in range(21):
+            assert uf.same(i, j) == (j in naive[i])
+
+
+# ---------------------------------------------------------------------------
+# Steensgaard analysis
+# ---------------------------------------------------------------------------
+
+
+def analyze(source):
+    program = lower_program(parse_program(source))
+    return program, PointsTo(program).analyze()
+
+
+def test_copy_unifies_pointees():
+    _, pt = analyze("struct e { e* n; }\nvoid f(e* a) { e* b = a; e* c = b; }")
+    pa = pt.pts_class(pt.var_ecr("f", "a"))
+    pc = pt.pts_class(pt.var_ecr("f", "c"))
+    assert pa is pc.find()
+
+
+def test_address_of_makes_var_cell_pointee():
+    _, pt = analyze("void f(int x) { int* p = &x; }")
+    assert pt.pts_class(pt.var_ecr("f", "p")) is pt.var_ecr("f", "x")
+
+
+def test_distinct_allocations_stay_distinct():
+    _, pt = analyze(
+        "struct a { int k; }\nstruct b { int k; }\n"
+        "void f() { a* x = new a; b* y = new b; }"
+    )
+    px = pt.pts_class(pt.var_ecr("f", "x"))
+    py = pt.pts_class(pt.var_ecr("f", "y"))
+    assert px is not py
+
+
+def test_store_and_load_through_field():
+    _, pt = analyze(
+        """
+        struct e { e* next; }
+        void f() {
+          e* a = new e;
+          e* b = new e;
+          a->next = b;
+          e* c = a->next;
+        }
+        """
+    )
+    pb = pt.pts_class(pt.var_ecr("f", "b"))
+    pc = pt.pts_class(pt.var_ecr("f", "c"))
+    assert pb is pc
+
+
+def test_call_unifies_params_and_return():
+    _, pt = analyze(
+        """
+        struct e { e* next; }
+        e* id(e* p) { return p; }
+        void f(e* a) { e* b = id(a); }
+        """
+    )
+    pa = pt.pts_class(pt.var_ecr("f", "a"))
+    pb = pt.pts_class(pt.var_ecr("f", "b"))
+    assert pa is pb
+
+
+def test_ret_var_key_resolves_to_callee():
+    _, pt = analyze("int g() { return 1; }\nvoid f() { int x = g(); }")
+    assert pt.var_key("f", "ret$g") == ("g", "ret$g")
+
+
+def test_globals_resolve_to_empty_scope():
+    _, pt = analyze("int g;\nvoid f() { g = 1; }")
+    assert pt.var_key("f", "g") == ("", "g")
+
+
+def test_locals_shadow_globals():
+    _, pt = analyze("int g;\nvoid f() { int g = 1; }")
+    assert pt.var_key("f", "g") == ("f", "g")
+
+
+def test_array_cells_collapse():
+    _, pt = analyze(
+        """
+        struct e { int k; }
+        void f(int i, int j) {
+          e** a = new e*[4];
+          e* x = a[i];
+          e* y = a[j];
+        }
+        """
+    )
+    px = pt.pts_class(pt.var_ecr("f", "x"))
+    py = pt.pts_class(pt.var_ecr("f", "y"))
+    assert px is py
+
+
+def test_field_sensitivity_keeps_fields_apart():
+    _, pt = analyze(
+        """
+        struct e { e* left; e* right; int key; }
+        void f() {
+          e* a = new e;
+          e* l = new e;
+          int* d = new int;
+          a->left = l;
+        }
+        """
+    )
+    site = next(
+        sid for sid, s in pt.sites.items() if s.type_name == "e" and s.func_name == "f"
+    )
+    root = pt.site_ecr(site)
+    left_cls = pt.class_of_site_cell(site, "left")
+    key_cls = pt.class_of_site_cell(site, "key")
+    assert left_cls != key_cls
+
+
+def test_allocation_sites_numbered_in_order():
+    program, pt = analyze(
+        "struct e { int k; }\nvoid f() { e* a = new e; e* b = new e; }"
+    )
+    assert sorted(pt.sites) == [0, 1]
+    assert all(s.func_name == "f" for s in pt.sites.values())
+
+
+def test_unknown_function_is_ignored():
+    # calls to undeclared functions must not crash the analysis
+    _, pt = analyze("void f(int x) { int y = mystery(x); }")
+    assert pt.var_key("f", "y") == ("f", "y")
+
+
+# ---------------------------------------------------------------------------
+# alias oracle over lock terms
+# ---------------------------------------------------------------------------
+
+
+def test_alias_oracle_field_terms():
+    program, pt = analyze(
+        """
+        struct e { e* next; int key; }
+        void f(e* a, e* b) {
+          e* c = a;
+        }
+        void main() { e* x = new e; f(x, x); }
+        """
+    )
+    oracle = AliasOracle(pt)
+    ta = TPlus(TStar(TVar("a")), "next")
+    tc = TPlus(TStar(TVar("c")), "next")
+    tb_key = TPlus(TStar(TVar("b")), "key")
+    assert oracle.may_alias_terms("f", ta, "f", tc)
+    assert not oracle.may_alias_terms("f", ta, "f", tb_key)
+
+
+def test_alias_oracle_syntactic_identity():
+    _, pt = analyze("void f(int* p) { *p = 1; }")
+    oracle = AliasOracle(pt)
+    term = TStar(TVar("p"))
+    assert oracle.may_alias_terms("f", term, "f", term)

@@ -1,0 +1,117 @@
+"""Cross-layer consistency: the runtime's mode discipline must refine the
+concrete lock semantics' `conflict` relation (paper §3.2 vs §5.1).
+
+If the denotations of two lock sets conflict (they protect a common cell and
+one allows writes), the runtime must never grant both plans fully at once;
+if they do not conflict, granting both must always be possible. Checked
+exhaustively over small lock-set combinations and by a hypothesis sweep.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locks import (
+    ALL,
+    Denotation,
+    RO,
+    RW,
+    TStar,
+    TVar,
+    coarse_lock,
+    conflict,
+    fine_lock,
+    global_lock,
+)
+from repro.runtime import LockManager
+from repro.runtime.api import plan_requests
+
+
+class FakeObj:
+    def __init__(self, oid):
+        self.oid = oid
+        self.shared = True
+
+
+class FakeLoc:
+    def __init__(self, oid, off):
+        self.obj = FakeObj(oid)
+        self.key = (oid, off)
+
+
+# a small universe: 2 classes, 2 cells per class
+CELLS = {1: [FakeLoc(10, "f"), FakeLoc(11, "f")],
+         2: [FakeLoc(20, "f"), FakeLoc(21, "f")]}
+CLASS_CELLS = {cls: frozenset(loc.key for loc in locs)
+               for cls, locs in CELLS.items()}
+ALL_CELLS = frozenset().union(*CLASS_CELLS.values())
+
+
+def denote(lock, loc=None):
+    """Concrete denotation of one lock in the small universe."""
+    if lock.is_global:
+        return Denotation(ALL_CELLS, lock.eff)
+    if lock.is_coarse:
+        return Denotation(CLASS_CELLS[lock.cls], lock.eff)
+    return Denotation(frozenset({loc.key}), lock.eff)
+
+
+def lockset_universe():
+    """All single-lock plans over the universe (with their denotations)."""
+    plans = []
+    for eff in (RO, RW):
+        plans.append(((global_lock(eff),), None, denote(global_lock(eff))))
+        for cls in (1, 2):
+            lock = coarse_lock(cls, eff)
+            plans.append(((lock,), None, denote(lock)))
+            for loc in CELLS[cls]:
+                fine = fine_lock(TStar(TVar("x")), cls, eff, "f")
+                plans.append(((fine,), loc, denote(fine, loc)))
+    return plans
+
+
+def grants_fully(manager, tid, locks, loc):
+    ordered = plan_requests(locks, lambda lock: loc)
+    for name, mode in ordered:
+        if not manager.try_acquire_node(tid, name, mode):
+            return False
+    return True
+
+
+def test_conflicting_plans_never_both_granted():
+    for (locks_a, loc_a, den_a), (locks_b, loc_b, den_b) in itertools.product(
+        lockset_universe(), repeat=2
+    ):
+        manager = LockManager()
+        assert grants_fully(manager, 0, locks_a, loc_a)
+        got_b = grants_fully(manager, 1, locks_b, loc_b)
+        if conflict(den_a, den_b):
+            assert not got_b, (locks_a, locks_b)
+
+
+def test_nonconflicting_plans_coexist():
+    for (locks_a, loc_a, den_a), (locks_b, loc_b, den_b) in itertools.product(
+        lockset_universe(), repeat=2
+    ):
+        if conflict(den_a, den_b):
+            continue
+        manager = LockManager()
+        assert grants_fully(manager, 0, locks_a, loc_a)
+        assert grants_fully(manager, 1, locks_b, loc_b), (locks_a, locks_b)
+
+
+@given(
+    choice=st.lists(st.integers(0, 13), min_size=2, max_size=4),
+)
+@settings(max_examples=100, deadline=None)
+def test_many_thread_grants_respect_pairwise_conflicts(choice):
+    universe = lockset_universe()
+    manager = LockManager()
+    granted = []
+    for tid, idx in enumerate(choice):
+        locks, loc, den = universe[idx % len(universe)]
+        if grants_fully(manager, tid, locks, loc):
+            granted.append(den)
+    for a, b in itertools.combinations(granted, 2):
+        assert not conflict(a, b)

@@ -1,0 +1,164 @@
+"""Abstract lock scheme framework tests (paper §3.3): lattice laws, operator
+behavior, Cartesian products, and the hat (ê) construction."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import lower_program, parse_program
+from repro.locks import (
+    RO,
+    RW,
+    EffectScheme,
+    FieldScheme,
+    KLimitScheme,
+    PointsToScheme,
+    ProductScheme,
+    TPlus,
+    TStar,
+    TVar,
+    term_for_access_path,
+)
+from repro.pointer import PointsTo
+
+SCHEMES = [
+    EffectScheme(),
+    FieldScheme(["next", "data", "key"]),
+    KLimitScheme(3),
+    ProductScheme(EffectScheme(), FieldScheme(["next", "data"])),
+    ProductScheme(KLimitScheme(2), EffectScheme()),
+]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.name)
+def test_top_is_maximum(scheme):
+    for lock in scheme.some_locks():
+        assert scheme.leq(lock, scheme.top())
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.name)
+def test_leq_is_partial_order(scheme):
+    locks = list(scheme.some_locks())
+    for a in locks:
+        assert scheme.leq(a, a)
+        for b in locks:
+            if scheme.leq(a, b) and scheme.leq(b, a):
+                assert a == b
+            for c in locks:
+                if scheme.leq(a, b) and scheme.leq(b, c):
+                    assert scheme.leq(a, c)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.name)
+def test_join_is_least_upper_bound(scheme):
+    locks = list(scheme.some_locks())
+    for a, b in itertools.product(locks, locks):
+        j = scheme.join(a, b)
+        assert scheme.leq(a, j) and scheme.leq(b, j)
+        for c in locks:
+            if scheme.leq(a, c) and scheme.leq(b, c):
+                assert scheme.leq(j, c)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.name)
+def test_operators_closed_over_lock_names(scheme):
+    lock = scheme.var("x", None, RW)
+    lock2 = scheme.plus(lock, "next", None, RO)
+    lock3 = scheme.star(lock2, None, RW)
+    assert scheme.leq(lock3, scheme.top())
+
+
+def test_effect_scheme_tracks_effect():
+    scheme = EffectScheme()
+    assert scheme.var("x", None, RO) == RO
+    assert scheme.star(RO, None, RW) == RW
+    assert scheme.hat(TStar(TVar("x")), None, RO) == RO
+    assert scheme.hat(TStar(TVar("x")), None, RW) == RW
+
+
+def test_field_scheme_singles_out_fields():
+    scheme = FieldScheme(["next", "data"])
+    lock = scheme.plus(scheme.top(), "next", None, RW)
+    assert lock == frozenset({"next"})
+    # derefs widen back to ⊤
+    assert scheme.star(lock, None, RW) == scheme.top()
+    # unknown fields widen
+    assert scheme.plus(scheme.top(), "other", None, RW) == scheme.top()
+
+
+def test_klimit_widens_past_k():
+    scheme = KLimitScheme(2)
+    x = scheme.var("x")
+    assert x != scheme.top()
+    sx = scheme.star(x)
+    assert sx != scheme.top()  # size 2 == k
+    ssx = scheme.star(sx)
+    assert ssx == scheme.top()  # size 3 > k
+    assert scheme.plus(ssx, "f") == scheme.top()  # ⊤ absorbs
+
+
+def test_klimit_zero_admits_nothing():
+    scheme = KLimitScheme(0)
+    assert scheme.var("x") == scheme.top()
+
+
+def test_hat_matches_paper_induction():
+    """ê: x̂ = x̄, (e+i)^ = ê(ro) + i, (*e)^ = * ê(ro)."""
+    scheme = KLimitScheme(9)
+    term = term_for_access_path("x", "*", "next")
+    lock = scheme.hat(term)
+    assert lock == ("expr", TPlus(TStar(TVar("x")), "next"))
+
+
+def test_product_scheme_componentwise():
+    product = ProductScheme(KLimitScheme(1), EffectScheme())
+    lock = product.var("x", None, RO)
+    assert lock == (("expr", TVar("x")), RO)
+    widened = product.star(lock, None, RW)
+    assert widened == (KLimitScheme(1).top(), RW)
+
+
+def test_product_requires_two_schemes():
+    with pytest.raises(ValueError):
+        ProductScheme(EffectScheme())
+
+
+def test_pointsto_scheme_partitions():
+    source = """
+    struct a { a* next; }
+    struct b { b* next; }
+    void f() { a* x = new a; b* y = new b; }
+    """
+    program = lower_program(parse_program(source))
+    pt = PointsTo(program).analyze()
+    scheme = PointsToScheme(pt, "f")
+    lx = scheme.star(scheme.var("x"))
+    ly = scheme.star(scheme.var("y"))
+    assert lx != ly  # disjoint structures, disjoint points-to locks
+    assert scheme.leq(lx, scheme.top())
+    assert scheme.join(lx, ly) == scheme.top()
+
+
+def test_pointsto_scheme_unifies_aliases():
+    source = """
+    struct a { a* next; }
+    void f(int c) { a* x = new a; a* y = x; }
+    """
+    program = lower_program(parse_program(source))
+    pt = PointsTo(program).analyze()
+    scheme = PointsToScheme(pt, "f")
+    assert scheme.star(scheme.var("x")) == scheme.star(scheme.var("y"))
+
+
+# A generative law check over random product nestings.
+@given(st.integers(0, 4), st.sampled_from([RO, RW]),
+       st.lists(st.sampled_from(["*", "next", "data"]), max_size=5))
+@settings(max_examples=150, deadline=None)
+def test_hat_always_below_top(k, eff, path):
+    scheme = ProductScheme(KLimitScheme(k), EffectScheme(),
+                           FieldScheme(["next", "data"]))
+    term = term_for_access_path("x", *path)
+    lock = scheme.hat(term, None, eff)
+    assert scheme.leq(lock, scheme.top())

@@ -1,0 +1,117 @@
+"""Discrete-event scheduler tests."""
+
+import pytest
+
+from repro.sim import DeadlockError, Scheduler
+from repro.sim.scheduler import TRY, WORK, run_threads
+
+
+def work(n):
+    for _ in range(n):
+        yield 1
+
+
+def test_single_thread_makespan():
+    stats = run_threads([work(10)], ncores=4)
+    assert stats.ticks == 10
+    assert stats.work_done == 10
+
+
+def test_parallel_threads_share_cores():
+    stats = run_threads([work(10) for _ in range(4)], ncores=4)
+    assert stats.ticks == 10  # perfectly parallel
+    assert stats.work_done == 40
+
+
+def test_more_threads_than_cores_serializes():
+    stats = run_threads([work(10) for _ in range(8)], ncores=4)
+    # 80 work units / 4 cores = 20 ticks ideal; round-robin rotation may
+    # cost one extra tick at the tail
+    assert 20 <= stats.ticks <= 21
+    assert stats.work_done == 80
+
+
+def test_bulk_work_event():
+    def bulk():
+        yield (WORK, 5)
+        yield 5
+
+    stats = run_threads([bulk()], ncores=1)
+    assert stats.ticks == 10
+
+
+def test_try_event_blocks_until_predicate():
+    state = {"ready": False, "polls": 0}
+
+    def waiter():
+        def predicate():
+            state["polls"] += 1
+            return state["ready"]
+
+        yield (TRY, predicate)
+        yield 1
+
+    def signaler():
+        for _ in range(5):
+            yield 1
+        state["ready"] = True
+        yield 1
+
+    stats = run_threads([waiter(), signaler()], ncores=2)
+    assert state["polls"] > 1
+    assert stats.ticks >= 6
+
+
+def test_blocked_threads_free_their_core():
+    # one blocked thread + two workers on one core: the blocked thread must
+    # not consume the core
+    state = {"ready": False}
+
+    def blocked():
+        yield (TRY, lambda: state["ready"])
+        yield 1
+
+    def finisher():
+        for _ in range(3):
+            yield 1
+        state["ready"] = True
+        yield 1
+
+    stats = run_threads([blocked(), finisher()], ncores=1)
+    assert stats.blocked_ticks > 0
+
+
+def test_deadlock_detected():
+    def stuck():
+        yield (TRY, lambda: False)
+
+    with pytest.raises(DeadlockError):
+        run_threads([stuck(), stuck()], ncores=2)
+
+
+def test_livelock_guard():
+    def forever():
+        while True:
+            yield 1
+
+    scheduler = Scheduler(ncores=1, max_ticks=100)
+    scheduler.spawn(forever())
+    with pytest.raises(RuntimeError):
+        scheduler.run()
+
+
+def test_determinism():
+    def noisy(n):
+        for i in range(n):
+            yield 1 + (i % 3)
+
+    s1 = run_threads([noisy(20), noisy(15), work(10)], ncores=2)
+    s2 = run_threads([noisy(20), noisy(15), work(10)], ncores=2)
+    assert s1.ticks == s2.ticks
+    assert s1.per_thread_work == s2.per_thread_work
+
+
+def test_round_robin_fairness():
+    stats = run_threads([work(100) for _ in range(3)], ncores=2)
+    works = list(stats.per_thread_work.values())
+    assert max(works) - min(works) == 0  # all finish with equal work

@@ -1,0 +1,214 @@
+"""TL2 STM tests: algorithm unit tests plus concurrent executions."""
+
+import pytest
+
+from repro.inference import infer_locks
+from repro.interp import ThreadExec, World
+from repro.memory import Heap, Loc
+from repro.sim import Scheduler
+from repro.stm import TL2System, TL2Tx, TxAbort, backoff_ticks
+
+
+def make_cell(value=0):
+    heap = Heap()
+    obj = heap.new_obj(None, "heap", "cell")
+    obj.cells["v"] = value
+    return Loc(obj, "v")
+
+
+def test_read_write_commit():
+    loc = make_cell(5)
+    system = TL2System()
+    tx = TL2Tx(system, 0)
+    assert tx.read(loc) == 5
+    tx.write(loc, 6)
+    assert tx.read(loc) == 6  # read-your-writes
+    tx.commit()
+    assert loc.obj.cells["v"] == 6
+    assert system.version_of(loc.key) > 0
+
+
+def test_write_write_conflict_aborts_second():
+    loc = make_cell()
+    system = TL2System()
+    a, b = TL2Tx(system, 0), TL2Tx(system, 1)
+    a.write(loc, a.read(loc) + 1)
+    b.write(loc, b.read(loc) + 1)
+    a.commit()
+    with pytest.raises(TxAbort):
+        b.commit()
+    assert loc.obj.cells["v"] == 1  # no lost update
+
+
+def test_read_of_newer_version_aborts():
+    loc = make_cell()
+    system = TL2System()
+    a = TL2Tx(system, 0)
+    b = TL2Tx(system, 1)
+    b.write(loc, 10)
+    b.commit()
+    with pytest.raises(TxAbort):
+        a.read(loc)  # version moved past a's rv
+
+
+def test_read_of_locked_cell_aborts():
+    loc = make_cell()
+    system = TL2System()
+    system.lockers[loc.key] = 7
+    tx = TL2Tx(system, 0)
+    with pytest.raises(TxAbort):
+        tx.read(loc)
+
+
+def test_read_only_tx_never_blocks_writers():
+    loc = make_cell(3)
+    system = TL2System()
+    reader = TL2Tx(system, 0)
+    assert reader.read(loc) == 3
+    writer = TL2Tx(system, 1)
+    writer.write(loc, 4)
+    writer.commit()
+    reader.commit()  # read-only: validates against its own rv snapshot
+
+
+def test_commit_releases_locks_on_abort():
+    loc_a, loc_b = make_cell(), make_cell()
+    system = TL2System()
+    tx = TL2Tx(system, 0)
+    tx.read(loc_a)
+    tx.write(loc_a, 1)
+    tx.write(loc_b, 2)
+    # simulate an interleaved commit bumping loc_a past rv
+    other = TL2Tx(system, 1)
+    other.write(loc_a, 9)
+    other.commit()
+    with pytest.raises(TxAbort):
+        tx.commit()
+    assert not system.lockers  # everything released
+
+
+def test_blind_write_commits_without_validation():
+    loc = make_cell()
+    system = TL2System()
+    tx = TL2Tx(system, 0)
+    tx.write(loc, 42)  # never read it
+    other = TL2Tx(system, 1)
+    other.write(loc, 7)
+    other.commit()
+    tx.commit()  # blind write: last writer wins, still consistent
+    assert loc.obj.cells["v"] == 42
+
+
+def test_backoff_is_bounded_and_deterministic():
+    assert backoff_ticks(1, 0) == backoff_ticks(1, 0)
+    assert backoff_ticks(50, 0) <= 8 + 2
+    assert backoff_ticks(0, 2) >= 1
+
+
+def test_stats_counting():
+    loc = make_cell()
+    system = TL2System()
+    tx = TL2Tx(system, 0)
+    tx.read(loc)
+    tx.write(loc, 1)
+    tx.commit()
+    assert system.stats.starts == 1
+    assert system.stats.commits == 1
+    assert system.stats.reads == 1
+    assert system.stats.writes == 1
+
+
+# ---------------------------------------------------------------------------
+# concurrent end-to-end
+# ---------------------------------------------------------------------------
+
+COUNTER_SRC = """
+struct counter { int value; }
+counter* C;
+void incr() {
+  atomic {
+    int v = C->value;
+    nop(3);
+    C->value = v + 1;
+  }
+}
+void main() { C = new counter; incr(); }
+"""
+
+
+def run_seq(world, func, args=()):
+    gen = ThreadExec(world, 999, mode="seq").call(func, list(args))
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+def counter_value(world):
+    return next(
+        o.cells["value"] for o in world.heap.objects.values() if o.label == "counter"
+    )
+
+
+def test_concurrent_increments_are_not_lost():
+    result = infer_locks(COUNTER_SRC, k=9)
+    world = World(result.program, pointsto=result.pointsto)
+    run_seq(world, "main")
+    scheduler = Scheduler(ncores=4)
+    for tid in range(6):
+        scheduler.spawn(ThreadExec(world, tid, mode="stm").run_ops([("incr", ())] * 20))
+    scheduler.run()
+    assert counter_value(world) == 121  # 6*20 + main's one
+    assert world.stm.stats.aborts > 0  # contention really happened
+
+
+def test_stm_rolls_back_locals():
+    src = """
+    int g;
+    int flaky() {
+      int local = 0;
+      atomic {
+        local = local + 1;
+        g = g + 1;
+        nop(3);
+      }
+      return local;
+    }
+    void main() { g = 0; }
+    """
+    result = infer_locks(src, k=9)
+    world = World(result.program, pointsto=result.pointsto)
+    run_seq(world, "main")
+    scheduler = Scheduler(ncores=4)
+    execs = [ThreadExec(world, tid, mode="stm") for tid in range(4)]
+    results = {}
+
+    def wrapped(texec, tid):
+        value = yield from texec.call("flaky", [])
+        results[tid] = value
+
+    for tid, texec in enumerate(execs):
+        scheduler.spawn(wrapped(texec, tid))
+    scheduler.run()
+    # locals must be rolled back on abort: every thread sees exactly 1
+    assert all(v == 1 for v in results.values())
+    g_val = world.globals.obj.cells["g"]
+    assert g_val == 4
+
+
+def test_nested_atomic_flattens_in_stm():
+    src = """
+    int g;
+    void inner() { atomic { g = g + 1; } }
+    void outer() { atomic { inner(); g = g + 1; } }
+    void main() { g = 0; }
+    """
+    result = infer_locks(src, k=9)
+    world = World(result.program, pointsto=result.pointsto)
+    run_seq(world, "main")
+    scheduler = Scheduler(ncores=2)
+    scheduler.spawn(ThreadExec(world, 0, mode="stm").run_ops([("outer", ())]))
+    scheduler.run()
+    assert world.globals.obj.cells["g"] == 2
+    assert world.stm.stats.commits == 1  # one flat transaction

@@ -1,0 +1,113 @@
+"""Program transformation tests (§4.1): atomic -> acquireAll/releaseAll."""
+
+from repro.inference import (
+    infer_locks,
+    transform_global,
+    transform_program,
+    transform_with_inference,
+)
+from repro.lang import ir
+
+SRC = """
+int g;
+void f(int c) {
+  atomic {
+    if (c == 0) {
+      atomic { g = 1; }
+    }
+    g = 2;
+  }
+  while (c < 3) {
+    atomic { g = g + 1; }
+    c = c + 1;
+  }
+}
+void main() { f(0); }
+"""
+
+
+def instrs_of(program, func="f"):
+    return list(ir.walk_instrs(program.functions[func].body))
+
+
+def test_every_atomic_replaced():
+    result = infer_locks(SRC, k=9)
+    transformed = transform_with_inference(result)
+    instrs = instrs_of(transformed)
+    assert not any(isinstance(i, ir.IAtomic) for i in instrs)
+    acquires = [i for i in instrs if isinstance(i, ir.IAcquireAll)]
+    releases = [i for i in instrs if isinstance(i, ir.IReleaseAll)]
+    assert len(acquires) == 3 and len(releases) == 3
+    assert {a.section_id for a in acquires} == {"f#1", "f#2", "f#3"}
+
+
+def test_acquire_release_bracket_body():
+    result = infer_locks(SRC, k=9)
+    transformed = transform_with_inference(result)
+    body = transformed.functions["f"].body
+    assert isinstance(body[0], ir.IAcquireAll)
+    # the matching release is the last instruction of the section's span
+    release_positions = [
+        idx for idx, i in enumerate(body) if isinstance(i, ir.IReleaseAll)
+    ]
+    assert release_positions, "outer section release present at top level"
+
+
+def test_acquire_carries_inferred_locks():
+    result = infer_locks(SRC, k=9)
+    transformed = transform_with_inference(result)
+    acquires = {
+        i.section_id: i
+        for i in instrs_of(transformed)
+        if isinstance(i, ir.IAcquireAll)
+    }
+    for section_id, acquire in acquires.items():
+        assert set(acquire.locks) == set(result.sections[section_id].locks)
+
+
+def test_nested_sections_each_get_pairs():
+    result = infer_locks(SRC, k=9)
+    transformed = transform_with_inference(result)
+    instrs = instrs_of(transformed)
+    inner = [i for i in instrs if isinstance(i, ir.IAcquireAll)
+             and i.section_id == "f#2"]
+    assert len(inner) == 1  # kept; the runtime no-ops it when nested
+
+
+def test_transform_global_uses_single_lock():
+    result = infer_locks(SRC, k=9)
+    transformed = transform_global(result.program)
+    for instr in instrs_of(transformed):
+        if isinstance(instr, ir.IAcquireAll):
+            assert len(instr.locks) == 1
+            (lock,) = instr.locks
+            assert lock.is_global
+
+
+def test_original_program_untouched():
+    result = infer_locks(SRC, k=9)
+    transform_with_inference(result)
+    # the source program still has its atomic sections
+    assert any(
+        isinstance(i, ir.IAtomic) for i in instrs_of(result.program)
+    )
+
+
+def test_transform_preserves_other_instructions():
+    result = infer_locks(SRC, k=9)
+    transformed = transform_with_inference(result)
+    original_assigns = [
+        str(i) for i in instrs_of(result.program) if isinstance(i, ir.IAssign)
+    ]
+    transformed_assigns = [
+        str(i) for i in instrs_of(transformed) if isinstance(i, ir.IAssign)
+    ]
+    assert original_assigns == transformed_assigns
+
+
+def test_unanalyzed_section_falls_back_to_global():
+    result = infer_locks(SRC, k=9)
+    transformed = transform_program(result.program, {})  # no lock info
+    for instr in instrs_of(transformed):
+        if isinstance(instr, ir.IAcquireAll):
+            assert any(lock.is_global for lock in instr.locks)

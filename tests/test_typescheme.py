@@ -1,0 +1,83 @@
+"""Type-based lock scheme tests (paper §3.2.1 example)."""
+
+from repro.lang import parse_program
+from repro.locks import RO, RW, ProductScheme, EffectScheme
+from repro.locks.scheme import TOP
+from repro.locks.typescheme import TypeScheme
+from repro.locks.terms import term_for_access_path
+
+SRC = """
+struct animal { animal* parent; int age; }
+struct dog { animal* base; int barks; }
+struct cat { animal* base; int lives; }
+void main() { }
+"""
+
+
+def scheme(subtypes=None):
+    return TypeScheme(parse_program(SRC), subtypes=subtypes)
+
+
+def test_top_covers_all_types():
+    s = scheme()
+    for name in ("animal", "dog", "cat"):
+        assert s.leq(name, s.top())
+        assert not s.leq(s.top(), name)
+
+
+def test_unrelated_types_incomparable():
+    s = scheme()
+    assert not s.leq("dog", "cat")
+    assert not s.leq("cat", "dog")
+    assert s.join("dog", "cat") == TOP
+
+
+def test_subtyping_makes_supertype_coarser():
+    """The paper: τ <: τ' implies [[l_τ]] ⊑ [[l_τ']]."""
+    s = scheme(subtypes={"dog": "animal", "cat": "animal"})
+    assert s.leq("dog", "animal")
+    assert not s.leq("animal", "dog")
+    assert s.join("dog", "cat") == "animal"
+    assert s.join("dog", "animal") == "animal"
+
+
+def test_plus_resolves_field_owner():
+    s = scheme()
+    assert s.plus(TOP, "barks") == "dog"
+    assert s.plus(TOP, "lives") == "cat"
+    assert s.plus(TOP, "age") == "animal"
+    assert s.plus(TOP, "unknown_field") == TOP
+
+
+def test_plus_joins_shared_fields():
+    # "base" is declared by both dog and cat: the lock is their join (⊤
+    # without a hierarchy, "animal"... no — dog/cat join is animal only
+    # with subtyping declared)
+    s = scheme()
+    assert s.plus(TOP, "base") == TOP
+    s2 = scheme(subtypes={"dog": "animal", "cat": "animal"})
+    assert s2.plus(TOP, "base") == "animal"
+
+
+def test_hat_on_access_paths():
+    s = scheme()
+    lock = s.hat(term_for_access_path("x", "*", "barks"), None, RW)
+    assert lock == "dog"
+    lock = s.hat(term_for_access_path("x", "*", "barks", "*"), None, RW)
+    assert lock == TOP  # deref widens
+
+
+def test_product_with_effects():
+    s = ProductScheme(scheme(), EffectScheme())
+    lock = s.hat(term_for_access_path("x", "*", "age"), None, RO)
+    assert lock == ("animal", RO)
+
+
+def test_lattice_laws_sampled():
+    s = scheme(subtypes={"dog": "animal", "cat": "animal"})
+    locks = list(s.some_locks())
+    for a in locks:
+        assert s.leq(a, a)
+        for b in locks:
+            j = s.join(a, b)
+            assert s.leq(a, j) and s.leq(b, j)

@@ -1,0 +1,86 @@
+"""Program validator tests."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.lang.validate import ValidationError, validate_program
+
+
+def check(source, **kw):
+    return validate_program(parse_program(source), strict=False, **kw)
+
+
+def assert_clean(source):
+    assert check(source) == []
+
+
+def test_clean_program():
+    assert_clean(
+        """
+        struct e { e* next; int v; }
+        e* G;
+        void f(e* p) { p->v = 1; }
+        void main() { G = new e; f(G); }
+        """
+    )
+
+
+def test_unknown_function():
+    diags = check("void main() { mystery(); }")
+    assert any("unknown function" in str(d) for d in diags)
+
+
+def test_external_functions_allowed():
+    diags = check("void main() { mystery(); }",
+                  external_functions={"mystery"})
+    assert diags == []
+
+
+def test_arity_mismatch():
+    diags = check("void f(int a, int b) { }\nvoid main() { f(1); }")
+    assert any("expected 2" in str(d) for d in diags)
+
+
+def test_unknown_field():
+    diags = check(
+        "struct e { int v; }\nvoid main() { e* x = new e; x->w = 1; }"
+    )
+    assert any("unknown field 'w'" in str(d) for d in diags)
+
+
+def test_unknown_struct_in_type():
+    diags = check("void main() { ghost* p = null; }")
+    assert any("unknown struct" in str(d) for d in diags)
+
+
+def test_unknown_struct_in_new():
+    diags = check("struct e { int v; }\nvoid main() { e* x = new ghost; }")
+    assert any("new of unknown struct" in str(d) for d in diags)
+
+
+def test_duplicate_field():
+    diags = check("struct e { int v; int v; }\nvoid main() { }")
+    assert any("duplicate field" in str(d) for d in diags)
+
+
+def test_global_function_name_clash():
+    diags = check("int f;\nvoid f() { }\nvoid main() { }")
+    assert any("both a global and a function" in str(d) for d in diags)
+
+
+def test_return_inside_atomic_flagged():
+    diags = check("int main() { atomic { return 1; } }")
+    assert any("return inside an atomic" in str(d) for d in diags)
+
+
+def test_strict_mode_raises():
+    with pytest.raises(ValidationError) as err:
+        validate_program(parse_program("void main() { mystery(); }"))
+    assert "unknown function" in str(err.value)
+
+
+def test_benchmark_sources_validate_cleanly():
+    from repro.bench import ALL_BENCHMARKS
+
+    for spec in ALL_BENCHMARKS.values():
+        assert validate_program(parse_program(spec.source), strict=False) == []

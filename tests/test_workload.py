@@ -1,0 +1,88 @@
+"""Workload generator tests."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import workload
+
+
+def rng(seed=0):
+    return random.Random(seed)
+
+
+def test_low_and_high_mixes_are_complementary():
+    assert workload.LOW_MIX[1] == workload.HIGH_MIX[0]  # gets<->puts swapped
+    assert workload.LOW_MIX[0] == workload.HIGH_MIX[1]
+
+
+def test_micro_ops_shapes():
+    ops = workload.micro_ops("put", "get", "rm", "low", rng(), 50, keyspace=10)
+    assert len(ops) == 50
+    for name, args in ops:
+        assert name in ("put", "get", "rm")
+        if name == "put":
+            assert len(args) == 2
+        else:
+            assert len(args) == 1
+        assert 0 <= args[0] < 10
+
+
+def test_th_ops_args():
+    for name, args in workload.th_ops("high", rng(), 100):
+        assert args[0] in (0, 1)
+        if name == "th_put":
+            assert len(args) == 3
+        else:
+            assert len(args) == 2
+
+
+def test_vacation_ops_reserve_majority():
+    ops = workload.vacation_ops("low", rng(), 1000)
+    reserves = sum(1 for n, _ in ops if n == "reserve")
+    assert 450 < reserves < 750  # ~60%
+    assert all(n in ("reserve", "browse", "cancel") for n, _ in ops)
+
+
+def test_genome_ops_pair_inserts_with_appends():
+    ops = workload.genome_ops("low", rng(), 100)
+    names = [n for n, _ in ops]
+    for i, name in enumerate(names):
+        if name == "seg_insert":
+            assert names[i + 1] == "glist_append"
+
+
+def test_kmeans_ops_periodic_recenter():
+    ops = workload.kmeans_ops("low", rng(), 100)
+    assert sum(1 for n, _ in ops if n == "recenter") == 2
+    assert ops[49][0] == "recenter"
+
+
+def test_labyrinth_ops_are_grid_stripes():
+    for name, (start, length) in workload.labyrinth_ops("low", rng(), 200):
+        assert name in ("route", "unroute")
+        assert start % 16 == 0
+        assert 4 <= length <= 11
+
+
+@given(seed=st.integers(0, 500), n=st.integers(1, 100))
+@settings(max_examples=50, deadline=None)
+def test_generators_are_deterministic(seed, n):
+    for maker in (workload.vacation_ops, workload.genome_ops,
+                  workload.bayes_ops, workload.labyrinth_ops):
+        a = maker("low", random.Random(seed), n)
+        b = maker("low", random.Random(seed), n)
+        assert a == b
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=30, deadline=None)
+def test_mix_pick_respects_weights(seed):
+    r = random.Random(seed)
+    counts = [0, 0, 0]
+    for _ in range(1200):
+        counts[workload._pick(r, workload.HIGH_MIX)] += 1
+    # puts (weight 8 of 12) should clearly dominate
+    assert counts[0] > counts[1] and counts[0] > counts[2]
+    assert counts[0] > 600
