@@ -17,7 +17,7 @@ import pytest
 from conftest import emit_report
 from repro.bench import ALL_BENCHMARKS
 from repro.bench.harness import run_seq
-from repro.inference import LockInference, transform_with_inference
+from repro.inference import LockInference, shared_analysis, transform_with_inference
 from repro.interp import ThreadExec, World
 from repro.sim import Scheduler
 
@@ -38,7 +38,7 @@ def _run_with_inference(spec, inference, setting, threads=8, n_ops=60):
 def test_ablation_k_sweep_hashtable2(benchmark, k):
     benchmark.group = "ablation-k"
     spec = ALL_BENCHMARKS["hashtable-2"]
-    inference = LockInference(spec.source, k=k).run()
+    inference = LockInference(spec.shared(), k=k).run()
 
     def run():
         return _run_with_inference(spec, inference, "high")
@@ -61,8 +61,8 @@ def test_ablation_k_sweep_hashtable2(benchmark, k):
 def test_ablation_effects_rbtree_low(benchmark):
     benchmark.group = "ablation-effects"
     spec = ALL_BENCHMARKS["rbtree"]
-    with_eff = LockInference(spec.source, k=9, use_effects=True).run()
-    without_eff = LockInference(spec.source, k=9, use_effects=False).run()
+    with_eff = LockInference(spec.shared(), k=9, use_effects=True).run()
+    without_eff = LockInference(spec.shared(), k=9, use_effects=False).run()
 
     def run_both():
         return (
@@ -89,7 +89,7 @@ def test_ablation_analysis_cost_vs_k(benchmark):
 
     def sweep():
         return {
-            k: LockInference(spec.source, k=k).run().dataflow_time
+            k: LockInference(spec.shared(), k=k).run().dataflow_time
             for k in (0, 3, 6, 9)
         }
 
@@ -116,7 +116,8 @@ def test_ablation_alias_analysis(benchmark):
         for alias in ("steensgaard", "andersen"):
             total = 0
             for source in sources.values():
-                result = LockInference(source, k=9, alias=alias).run()
+                result = LockInference(shared_analysis(source), k=9,
+                                       alias=alias).run()
                 total += result.lock_counts().total
             out[alias] = total
         return out

@@ -1,0 +1,133 @@
+"""Analysis-speed benchmark: the Table 1 k=9 column as a perf trajectory.
+
+Times the whole-program lock inference at k=9 over the Table 1 corpus (the
+synthetic SPEC rows at ``SPEC_SCALE`` plus the STAMP programs) and writes
+``BENCH_analysis.json`` at the repo root: per-program wall times, aggregate
+solver counters from the :class:`~repro.inference.AnalysisProfile`, and the
+speedup against the recorded seed-engine baseline. Future PRs re-run this
+after touching the analysis path and commit the refreshed JSON, so the
+file's git history is the perf trajectory.
+
+Run standalone (``python benchmarks/bench_analysis_speed.py [--quick]``,
+``--quick`` = STAMP-only CI smoke) or under pytest
+(``pytest benchmarks/bench_analysis_speed.py``).
+"""
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import emit_report  # noqa: E402
+from repro.bench.configs import STAMP_BENCHMARKS  # noqa: E402
+from repro.bench.programs.spec import spec_sources  # noqa: E402
+from repro.inference import LockInference  # noqa: E402
+
+SPEC_SCALE = 0.05  # matches bench_table1_analysis_time.py
+
+# Seed-engine wall clock for the full corpus at k=9 (sum of per-program
+# analysis times, same machine class), measured at the commit introducing
+# the performance layer. The acceptance bar for that layer was >= 2x.
+SEED_TOTAL_S = 10.74
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_analysis.json")
+
+
+def corpus(quick: bool = False):
+    sources = {} if quick else dict(spec_sources(scale=SPEC_SCALE))
+    for name, spec in STAMP_BENCHMARKS.items():
+        sources[name] = spec.source
+    return sources
+
+
+def measure(quick: bool = False):
+    rows = {}
+    total = 0.0
+    aggregate = {"dataflow_steps": 0, "summary_runs": 0,
+                 "transfer_cache_hits": 0, "transfer_cache_misses": 0}
+    for name, source in sorted(corpus(quick).items()):
+        started = time.perf_counter()
+        result = LockInference(source, k=9).run()
+        elapsed = time.perf_counter() - started
+        total += elapsed
+        profile = result.profile
+        rows[name] = {
+            "wall_s": round(elapsed, 4),
+            "pointer_s": round(profile.pointer_time, 4),
+            "dataflow_s": round(profile.dataflow_time, 4),
+            "sections": profile.sections,
+            "dataflow_steps": profile.dataflow_steps,
+            "transfer_cache_hit_rate": round(
+                profile.transfer_cache_hit_rate, 3),
+        }
+        for key in aggregate:
+            aggregate[key] += getattr(profile, key)
+    return {
+        "benchmark": "table1-k9-column",
+        "quick": quick,
+        "k": 9,
+        "spec_scale": SPEC_SCALE,
+        "programs": rows,
+        "total_wall_s": round(total, 3),
+        "seed_total_wall_s": SEED_TOTAL_S if not quick else None,
+        "speedup_vs_seed": round(SEED_TOTAL_S / total, 2) if not quick else None,
+        "aggregate": aggregate,
+    }
+
+
+def render(report) -> str:
+    lines = [f"{'Program':12s} {'wall (s)':>9s} {'sections':>9s} "
+             f"{'steps':>9s} {'cache hit':>10s}"]
+    for name, row in sorted(report["programs"].items()):
+        lines.append(
+            f"{name:12s} {row['wall_s']:9.3f} {row['sections']:9d} "
+            f"{row['dataflow_steps']:9d} {row['transfer_cache_hit_rate']:10.1%}"
+        )
+    lines.append(f"{'TOTAL':12s} {report['total_wall_s']:9.3f}")
+    if report["speedup_vs_seed"] is not None:
+        lines.append(
+            f"seed engine baseline {report['seed_total_wall_s']:.2f}s "
+            f"-> {report['speedup_vs_seed']:.2f}x speedup"
+        )
+    return "\n".join(lines)
+
+
+def write_json(report) -> str:
+    path = os.path.abspath(JSON_PATH)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def test_analysis_speed(benchmark):
+    benchmark.group = "analysis-speed"
+
+    report = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["total_wall_s"] = report["total_wall_s"]
+    benchmark.extra_info["speedup_vs_seed"] = report["speedup_vs_seed"]
+    write_json(report)
+    emit_report(
+        "analysis_speed",
+        f"Analysis speed: Table 1 k=9 column (SPEC at {SPEC_SCALE}x + STAMP)",
+        render(report),
+    )
+    assert report["programs"]
+    # the optimized engine must hold the PR's acceptance bar with margin
+    assert report["total_wall_s"] < SEED_TOTAL_S
+
+
+def main(argv=None) -> int:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    report = measure(quick=quick)
+    print(render(report))
+    if not quick:
+        path = write_json(report)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

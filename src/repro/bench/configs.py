@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..inference import SharedAnalysis, shared_analysis
 from . import workload
 from .programs import micro, stamp
 
@@ -35,6 +36,12 @@ class BenchSpec:
     settings: Tuple[Optional[str], ...] = (None,)
     setup: str = "setup"
     default_ops: int = 120
+
+    def shared(self) -> SharedAnalysis:
+        """The memoized k-independent analysis front half for this program:
+        every (k, use_effects) configuration in a sweep reuses one parse,
+        lowering, CFG build, and pointer analysis."""
+        return shared_analysis(self.source)
 
     def schedule(self, setting: Optional[str], threads: int, n_ops: int,
                  seed: int = 1234) -> List[List[Op]]:

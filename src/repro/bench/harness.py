@@ -8,7 +8,10 @@ threads on an ``ncores``-core machine, with the §4.2 protection checker
 enabled throughout lock runs.
 
 Inference results are cached per (source, k), so sweeping configurations and
-thread counts re-analyzes nothing.
+thread counts re-analyzes nothing; and all (k, use_effects) configurations
+of one source share a single :class:`~repro.inference.SharedAnalysis`
+(parse + lower + CFGs + pointer analysis), so a sweep pays the k-independent
+front half of the pipeline exactly once.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..inference import (
     InferenceResult,
     LockInference,
+    shared_analysis,
     transform_global,
     transform_with_inference,
 )
@@ -59,7 +63,7 @@ class _InferenceCache:
     def get(self, source: str, k: int) -> InferenceResult:
         key = (hash(source), k)
         if key not in self._cache:
-            self._cache[key] = LockInference(source, k=k).run()
+            self._cache[key] = LockInference(shared_analysis(source), k=k).run()
         return self._cache[key]
 
 

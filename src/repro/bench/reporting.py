@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..inference import LockClassCounts, LockInference
+from ..inference import LockClassCounts, LockInference, SharedAnalysis
 from .configs import ALL_BENCHMARKS, CONFIGS, BenchSpec
 from .harness import RunResult, run_benchmark
 
@@ -79,12 +79,14 @@ def figure7_counts(
     sources: Dict[str, str], ks: Sequence[int] = tuple(range(10))
 ) -> Dict[int, LockClassCounts]:
     """Combined lock counts per k across all *sources* (the paper sums over
-    every atomic section of every program)."""
+    every atomic section of every program). The k-independent front half of
+    each program's analysis is shared across the whole k sweep."""
+    shared = {name: SharedAnalysis(source) for name, source in sources.items()}
     combined: Dict[int, LockClassCounts] = {}
     for k in ks:
         total = LockClassCounts()
-        for source in sources.values():
-            total = total + LockInference(source, k=k).run().lock_counts()
+        for analysis in shared.values():
+            total = total + LockInference(analysis, k=k).run().lock_counts()
         combined[k] = total
     return combined
 

@@ -2,8 +2,10 @@
 
 Commands:
 
-* ``analyze <file.mc> [--k K] [--no-effects]`` — print the inferred locks
-  per atomic section and the Figure 7-style classification counts;
+* ``analyze <file.mc> [--k K] [--no-effects] [--profile]`` — print the
+  inferred locks per atomic section and the Figure 7-style classification
+  counts; ``--profile`` appends the AnalysisProfile (phase timers, solver
+  counters, transfer-cache hit rates, intern-table sizes);
 * ``transform <file.mc> [--k K]`` — print the transformed (acquireAll /
   releaseAll) program;
 * ``run <bench> --config CFG [--threads N] [--ops N] [--setting S]`` —
@@ -46,6 +48,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     print(f"analysis time: {result.analysis_time:.3f}s "
           f"(pointer {result.pointer_time:.3f}s, "
           f"dataflow {result.dataflow_time:.3f}s)")
+    if args.profile and result.profile is not None:
+        print()
+        print(result.profile.describe())
     return 0
 
 
@@ -116,6 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--k", type=int, default=9)
     p.add_argument("--no-effects", action="store_true")
+    p.add_argument("--profile", action="store_true",
+                   help="print the AnalysisProfile (phase timers, solver "
+                        "counters, cache hit rates)")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("transform", help="print the lock-based program")

@@ -1,6 +1,14 @@
 """Lock inference: the paper's §4 analysis framework and transformation."""
 
-from .analysis import InferenceResult, LockClassCounts, LockInference, infer_locks
+from .analysis import (
+    AnalysisProfile,
+    InferenceResult,
+    LockClassCounts,
+    LockInference,
+    SharedAnalysis,
+    infer_locks,
+    shared_analysis,
+)
 from .engine import Engine, SectionLocks, SummaryResult
 from .libspec import ExternalSpec, SpecLibrary, reachable_classes
 from .transform import (
@@ -14,6 +22,9 @@ __all__ = [
     "infer_locks",
     "InferenceResult",
     "LockClassCounts",
+    "AnalysisProfile",
+    "SharedAnalysis",
+    "shared_analysis",
     "Engine",
     "SectionLocks",
     "SummaryResult",

@@ -3,6 +3,17 @@
 :class:`LockInference` wires the whole §4 pipeline together and exposes the
 per-section lock sets plus the classification statistics behind the paper's
 Figure 7 (fine/coarse × read-only/read-write lock counts).
+
+Two performance-oriented entry points sit alongside it:
+
+* :class:`SharedAnalysis` packages the k-independent front half of the
+  pipeline (parse, lower, CFGs, pointer analysis) so a (k, use_effects)
+  sweep pays for it once — pass it to :class:`LockInference` (or
+  :func:`shared_analysis`, which memoizes per source) instead of the raw
+  source;
+* every run produces an :class:`AnalysisProfile` (phase timers + engine
+  counters + intern-table sizes) on ``InferenceResult.profile``, surfaced
+  by the CLI's ``--profile`` flag and the analysis-speed benchmark.
 """
 
 from __future__ import annotations
@@ -15,6 +26,7 @@ from ..cfg import CFG, build_cfgs
 from ..lang import ast, ir, lower_program, parse_program
 from ..locks.effects import RO, RW
 from ..locks.paperlock import Lock
+from ..locks.terms import interning_stats
 from ..pointer.steensgaard import PointsTo
 from .engine import Engine, SectionLocks
 from .libspec import SpecLibrary
@@ -60,6 +72,116 @@ class LockClassCounts:
 
 
 @dataclass
+class AnalysisProfile:
+    """Phase timers and solver counters for one :meth:`LockInference.run`.
+
+    ``front_time`` covers parse + lower + CFG construction; when a
+    :class:`SharedAnalysis` was reused (``front_shared`` is True), it and
+    ``pointer_time`` report the shared front half's one-time cost, which a
+    sweep pays once, not per configuration.
+    Counter semantics: ``dataflow_steps`` counts transfer-function
+    *executions*, ``transfer_cache_hits`` counts transfers answered from
+    the per-node memo instead, ``summary_runs`` counts whole-function
+    summary dataflows, and ``section_reruns`` counts region re-analyses
+    forced by a changed summary dependency.
+    """
+
+    k: int = 0
+    use_effects: bool = True
+    front_time: float = 0.0
+    front_shared: bool = False
+    pointer_time: float = 0.0
+    dataflow_time: float = 0.0
+    sections: int = 0
+    dataflow_steps: int = 0
+    summary_runs: int = 0
+    section_reruns: int = 0
+    transfer_cache_hits: int = 0
+    transfer_cache_misses: int = 0
+    interned_terms: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        return self.front_time + self.pointer_time + self.dataflow_time
+
+    @property
+    def transfer_cache_hit_rate(self) -> float:
+        tried = self.transfer_cache_hits + self.transfer_cache_misses
+        return self.transfer_cache_hits / tried if tried else 0.0
+
+    def describe(self) -> str:
+        shared = " (shared)" if self.front_shared else ""
+        interned = sum(self.interned_terms.values())
+        return "\n".join([
+            f"profile (k={self.k}, effects={'on' if self.use_effects else 'off'}):",
+            f"  front (parse+lower+cfg): {self.front_time:.3f}s{shared}",
+            f"  pointer analysis:        {self.pointer_time:.3f}s",
+            f"  dataflow:                {self.dataflow_time:.3f}s",
+            f"  sections analyzed:       {self.sections}",
+            f"  dataflow steps:          {self.dataflow_steps}"
+            f" (+{self.transfer_cache_hits} cached,"
+            f" {self.transfer_cache_hit_rate:.0%} hit rate)",
+            f"  summary runs:            {self.summary_runs}",
+            f"  section reruns:          {self.section_reruns}",
+            f"  interned terms:          {interned}",
+        ])
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "k": self.k,
+            "use_effects": self.use_effects,
+            "front_time": self.front_time,
+            "front_shared": self.front_shared,
+            "pointer_time": self.pointer_time,
+            "dataflow_time": self.dataflow_time,
+            "total_time": self.total_time,
+            "sections": self.sections,
+            "dataflow_steps": self.dataflow_steps,
+            "summary_runs": self.summary_runs,
+            "section_reruns": self.section_reruns,
+            "transfer_cache_hits": self.transfer_cache_hits,
+            "transfer_cache_misses": self.transfer_cache_misses,
+            "interned_terms": dict(self.interned_terms),
+        }
+
+
+class SharedAnalysis:
+    """The k-independent front half of the pipeline, computed once.
+
+    Parsing, lowering, CFG construction, and the pointer analysis do not
+    depend on (k, use_effects), so a configuration sweep can build one
+    ``SharedAnalysis`` and hand it to every :class:`LockInference`.
+    """
+
+    def __init__(self, source: Union[str, ast.Program, ir.LoweredProgram]):
+        started = time.perf_counter()
+        if isinstance(source, str):
+            source = parse_program(source)
+        if isinstance(source, ast.Program):
+            source = lower_program(source)
+        self.program: ir.LoweredProgram = source
+        self.cfgs: Dict[str, CFG] = build_cfgs(self.program)
+        self.front_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        self.pointsto: PointsTo = PointsTo(self.program).analyze()
+        self.pointer_time = time.perf_counter() - started
+
+
+_SHARED_CACHE: Dict[int, SharedAnalysis] = {}
+
+
+def shared_analysis(source: str) -> SharedAnalysis:
+    """Memoized :class:`SharedAnalysis` per source text (sweep helper)."""
+    key = hash(source)
+    cached = _SHARED_CACHE.get(key)
+    if cached is None:
+        cached = SharedAnalysis(source)
+        _SHARED_CACHE[key] = cached
+    return cached
+
+
+@dataclass
 class InferenceResult:
     """Everything the analysis produced for one program and one k."""
 
@@ -71,6 +193,7 @@ class InferenceResult:
     use_effects: bool = True
     pointer_time: float = 0.0
     dataflow_time: float = 0.0
+    profile: Optional[AnalysisProfile] = None
 
     @property
     def analysis_time(self) -> float:
@@ -95,34 +218,61 @@ class InferenceResult:
 
 
 class LockInference:
-    """Run the paper's analysis on a program for a fixed (k, effects) config."""
+    """Run the paper's analysis on a program for a fixed (k, effects) config.
+
+    *program* may be source text, a parsed/lowered program, or a
+    :class:`SharedAnalysis` — in the latter case the front half of the
+    pipeline (including the pointer analysis) is reused, not recomputed.
+    """
 
     def __init__(
         self,
-        program: Union[str, ast.Program, ir.LoweredProgram],
+        program: Union[str, ast.Program, ir.LoweredProgram, SharedAnalysis],
         k: int = 3,
         use_effects: bool = True,
         specs: Optional[SpecLibrary] = None,
         alias: str = "steensgaard",
+        enable_caches: bool = True,
     ) -> None:
-        if isinstance(program, str):
-            program = parse_program(program)
-        if isinstance(program, ast.Program):
-            program = lower_program(program)
         if alias not in ("steensgaard", "andersen"):
             raise ValueError(f"unknown alias analysis {alias!r}")
-        self.program: ir.LoweredProgram = program
+        self._front_time = 0.0
+        if isinstance(program, SharedAnalysis):
+            self.shared: Optional[SharedAnalysis] = program
+            self.program = program.program
+        else:
+            self.shared = None
+            started = time.perf_counter()
+            if isinstance(program, str):
+                program = parse_program(program)
+            if isinstance(program, ast.Program):
+                program = lower_program(program)
+            self._front_time = time.perf_counter() - started
+            self.program = program
         self.k = k
         self.use_effects = use_effects
         self.specs = specs
         self.alias = alias
+        self.enable_caches = enable_caches
 
     def run(self) -> InferenceResult:
-        started = time.perf_counter()
-        pointsto = PointsTo(self.program).analyze()
-        pointer_time = time.perf_counter() - started
+        profile = AnalysisProfile(k=self.k, use_effects=self.use_effects)
+        if self.shared is not None:
+            pointsto = self.shared.pointsto
+            cfgs = self.shared.cfgs
+            pointer_time = self.shared.pointer_time
+            profile.front_shared = True
+            profile.front_time = self.shared.front_time
+        else:
+            started = time.perf_counter()
+            pointsto = PointsTo(self.program).analyze()
+            pointer_time = time.perf_counter() - started
+            started = time.perf_counter()
+            cfgs = build_cfgs(self.program)
+            profile.front_time = self._front_time + (
+                time.perf_counter() - started)
+        profile.pointer_time = pointer_time
 
-        cfgs = build_cfgs(self.program)
         result = InferenceResult(
             program=self.program,
             cfgs=cfgs,
@@ -130,6 +280,7 @@ class LockInference:
             k=self.k,
             use_effects=self.use_effects,
             pointer_time=pointer_time,
+            profile=profile,
         )
         started = time.perf_counter()
         oracle = None
@@ -140,13 +291,19 @@ class LockInference:
             oracle = AndersenOracle(pointsto, andersen)
         engine = Engine(self.program, cfgs, pointsto, k=self.k,
                         use_effects=self.use_effects, specs=self.specs,
-                        oracle=oracle)
+                        oracle=oracle, enable_caches=self.enable_caches)
         for func_name, cfg in cfgs.items():
             for section in cfg.sections.values():
                 result.sections[section.section_id] = engine.analyze_section(
                     func_name, section
                 )
         result.dataflow_time = time.perf_counter() - started
+        profile.dataflow_time = result.dataflow_time
+        profile.sections = len(result.sections)
+        for name in ("dataflow_steps", "summary_runs", "section_reruns",
+                     "transfer_cache_hits", "transfer_cache_misses"):
+            setattr(profile, name, engine.stats[name])
+        profile.interned_terms = interning_stats()
         return result
 
 

@@ -19,8 +19,25 @@ Function calls use *function summaries* (§4.3):
   callees) with terms at f's entry.
 
 Summaries are solved by a global worklist fixpoint with dependency
-re-enqueueing; the section analysis re-runs until the summary table is
-stable (both lattices are finite thanks to k-limiting, so this terminates).
+re-enqueueing; the section analysis re-runs until the summaries it
+(transitively) demanded are stable (both lattices are finite thanks to
+k-limiting, so this terminates).
+
+Performance machinery (all result-preserving; ``enable_caches=False``
+recovers the naive engine, which the golden-equivalence tests compare
+against):
+
+* section runs converge by **dependency-driven invalidation**: a section is
+  re-run only when a summary it actually demanded changed, not whenever any
+  summary anywhere moved;
+* per-node **transfer-result caching**: a node's transfer output is a pure
+  function of its OUT set (plus, for call nodes, the summary table), so
+  results are memoized per (run, node, OUT set), keyed on a generation
+  counter that bumps whenever a summary changes — call-node entries
+  self-invalidate, statement-node entries never go stale;
+* **substituter reuse**: the pre-image substituter for a given (write,
+  scope) pair is built once and its memo tables persist across fixpoint
+  iterations (see :class:`~repro.inference.subst.Substituter`).
 """
 
 from __future__ import annotations
@@ -47,7 +64,7 @@ from ..locks.terms import (
 from ..pointer.aliasing import AliasOracle
 from ..pointer.steensgaard import PointsTo
 from .libspec import SpecLibrary, reachable_classes
-from .subst import Substituter, WriteInfo, atom_to_index, content_terms_for_rhs
+from .subst import Substituter, WriteInfo, atom_to_index, write_for_assign
 
 # A dataflow fact set: term -> strongest effect required.
 TermSet = Dict[Term, str]
@@ -97,9 +114,23 @@ class _RunContext:
         self.engine = engine
         self.requester = requester
         self.coarse: Set[Tuple[Optional[int], str]] = set()
+        # while a transfer-cache entry is being computed, its coarse
+        # emissions are additionally recorded here so they can be replayed
+        # verbatim on later cache hits
+        self._record: Optional[Set[Tuple[Optional[int], str]]] = None
 
     def emit_coarse(self, cls: Optional[int], eff: str) -> None:
         self.coarse.add((cls, eff))
+        if self._record is not None:
+            self._record.add((cls, eff))
+
+    def begin_record(self) -> None:
+        self._record = set()
+
+    def end_record(self) -> FrozenSet[Tuple[Optional[int], str]]:
+        recorded = frozenset(self._record or ())
+        self._record = None
+        return recorded
 
     def get_summary(self, key: tuple) -> SummaryResult:
         return self.engine._demand_summary(key, self.requester)
@@ -117,6 +148,7 @@ class Engine:
         use_effects: bool = True,
         specs: Optional[SpecLibrary] = None,
         oracle: Optional[AliasOracle] = None,
+        enable_caches: bool = True,
     ) -> None:
         self.program = program
         self.cfgs = cfgs
@@ -125,6 +157,7 @@ class Engine:
         self.specs = specs
         self.k = k
         self.use_effects = use_effects
+        self.enable_caches = enable_caches
         # summary machinery
         self._summaries: Dict[tuple, SummaryResult] = {}
         self._deps: Dict[tuple, Set[tuple]] = {}
@@ -133,7 +166,17 @@ class Engine:
         self._version = 0
         # per-function write-effect memo (for caller-local terms across calls)
         self._written_classes: Dict[str, Optional[FrozenSet[int]]] = {}
-        self.stats = {"dataflow_steps": 0, "summary_runs": 0}
+        # performance caches (see module docstring); both bypassed when
+        # enable_caches is False
+        self._substituters: Dict[Tuple[WriteInfo, str], Substituter] = {}
+        self._transfer_cache: Dict[tuple, Tuple[tuple, FrozenSet]] = {}
+        self.stats = {
+            "dataflow_steps": 0,
+            "summary_runs": 0,
+            "section_reruns": 0,
+            "transfer_cache_hits": 0,
+            "transfer_cache_misses": 0,
+        }
 
     # ------------------------------------------------------------------
     # public API
@@ -142,13 +185,27 @@ class Engine:
     def analyze_section(self, func_name: str, section: SectionInfo) -> SectionLocks:
         """Infer the lock set protecting one atomic section."""
         requester = ("section", section.section_id)
-        while True:
-            version = self._version
-            ctx = _RunContext(self, requester)
-            entry_terms = self._run_region(func_name, section, ctx)
-            self._solve_summaries()
-            if self._version == version:
-                break
+        if self.enable_caches:
+            # dependency-driven convergence: re-run the region only when a
+            # summary this section demanded (now or in a previous iteration;
+            # _deps persists) actually changed during the solve
+            while True:
+                ctx = _RunContext(self, requester)
+                entry_terms = self._run_region(func_name, section, ctx)
+                changed = self._solve_summaries()
+                deps = self._deps
+                if not any(requester in deps.get(key, ()) for key in changed):
+                    break
+                self.stats["section_reruns"] += 1
+        else:
+            # naive restart-until-globally-stable loop (golden reference)
+            while True:
+                version = self._version
+                ctx = _RunContext(self, requester)
+                entry_terms = self._run_region(func_name, section, ctx)
+                self._solve_summaries()
+                if self._version == version:
+                    break
         locks = self._assemble_locks(func_name, entry_terms, ctx.coarse)
         return SectionLocks(section.section_id, func_name, locks)
 
@@ -191,7 +248,9 @@ class Engine:
             self._queued.add(key)
             self._worklist.append(key)
 
-    def _solve_summaries(self) -> None:
+    def _solve_summaries(self) -> Set[tuple]:
+        """Run the summary fixpoint; returns the keys whose value changed."""
+        changed: Set[tuple] = set()
         while self._worklist:
             key = self._worklist.popleft()
             self._queued.discard(key)
@@ -199,9 +258,11 @@ class Engine:
             if result != self._summaries.get(key):
                 self._summaries[key] = result
                 self._version += 1
+                changed.add(key)
                 for dep in self._deps.get(key, ()):
                     if dep[0] != "section":
                         self._enqueue(dep)
+        return changed
 
     def _compute_summary(self, key: tuple) -> SummaryResult:
         self.stats["summary_runs"] += 1
@@ -262,7 +323,7 @@ class Engine:
             for succ in node.succs:
                 if succ.uid in in_sets:
                     _join_into(out, in_sets[succ.uid])
-            new_in = self._transfer(func_name, node, out, ctx)
+            new_in = self._transfer_cached(func_name, node, out, ctx, True)
             if new_in != in_sets[node.uid]:
                 in_sets[node.uid] = new_in
                 for pred in node.preds:
@@ -291,7 +352,7 @@ class Engine:
             out: TermSet = {}
             for succ in node.succs:
                 _join_into(out, in_sets[succ.uid])
-            new_in = self._transfer(func_name, node, out, ctx, with_g=with_g)
+            new_in = self._transfer_cached(func_name, node, out, ctx, with_g)
             if new_in != in_sets[node.uid]:
                 in_sets[node.uid] = new_in
                 for pred in node.preds:
@@ -303,6 +364,49 @@ class Engine:
     # ------------------------------------------------------------------
     # transfer functions
     # ------------------------------------------------------------------
+
+    def _transfer_cached(
+        self,
+        func_name: str,
+        node: Node,
+        out: TermSet,
+        ctx: _RunContext,
+        with_g: bool,
+    ) -> TermSet:
+        """Memoizing wrapper around :meth:`_transfer`.
+
+        A transfer's output (including its coarse emissions) is a pure
+        function of the node and its OUT set — except at call nodes, whose
+        output also reads the summary table, so their entries are keyed on
+        the summary generation counter and go stale automatically.
+        """
+        if not self.enable_caches:
+            return self._transfer(func_name, node, out, ctx, with_g=with_g)
+        is_call = (
+            node.kind == "instr"
+            and isinstance(node.instr, ir.IAssign)
+            and isinstance(node.instr.rhs, ir.RCall)
+        )
+        key = (
+            ctx.requester,
+            node.uid,
+            frozenset(out.items()),
+            with_g,
+            self._version if is_call else -1,
+        )
+        entry = self._transfer_cache.get(key)
+        if entry is not None:
+            self.stats["transfer_cache_hits"] += 1
+            result_items, coarse = entry
+            if coarse:
+                ctx.coarse |= coarse
+            return dict(result_items)
+        self.stats["transfer_cache_misses"] += 1
+        ctx.begin_record()
+        result = self._transfer(func_name, node, out, ctx, with_g=with_g)
+        coarse = ctx.end_record()
+        self._transfer_cache[key] = (tuple(result.items()), coarse)
+        return result
 
     def _transfer(
         self,
@@ -341,12 +445,7 @@ class Engine:
         ctx: _RunContext,
         with_g: bool,
     ) -> TermSet:
-        write = WriteInfo(
-            definite=TVar(instr.dest),
-            func=func_name,
-            ptr_content=content_terms_for_rhs(instr.rhs)[0],
-            int_content=content_terms_for_rhs(instr.rhs)[1],
-        )
+        write = write_for_assign(func_name, instr)
         result = self._apply_write(func_name, write, out, ctx)
         if with_g:
             self._gen_assign(func_name, instr, result, ctx)
@@ -409,13 +508,26 @@ class Engine:
             self._gen_var_read(func_name, instr.value, result, ctx)
         return result
 
+    def _substituter(self, write: WriteInfo, term_func: str) -> Substituter:
+        """The memoizing substituter for (write, scope), reused across runs
+        (its answers depend only on the write, the scope, and the oracle —
+        all fixed for the engine's lifetime)."""
+        if not self.enable_caches:
+            return Substituter(self.oracle, write, term_func)
+        key = (write, term_func)
+        sub = self._substituters.get(key)
+        if sub is None:
+            sub = Substituter(self.oracle, write, term_func)
+            self._substituters[key] = sub
+        return sub
+
     def _apply_write(
         self, func_name: str, write: WriteInfo, out: TermSet, ctx: _RunContext
     ) -> TermSet:
         result: TermSet = {}
         if not out:
             return result
-        sub = Substituter(self.oracle, write, func_name)
+        sub = self._substituter(write, func_name)
         for term, eff in out.items():
             for pre in sub.pre_terms(term):
                 self._admit(func_name, pre, eff, result, ctx)
@@ -503,7 +615,7 @@ class Engine:
             ptr_content=TStar(TVar(ret)),
             int_content=IVar(ret),
         )
-        sub = Substituter(self.oracle, bind_ret, func_name)
+        sub = self._substituter(bind_ret, func_name)
         for term, eff in out.items():
             for t1 in sub.pre_terms(term):
                 self._route_through_callee(
@@ -572,7 +684,7 @@ class Engine:
             ptr_content=ptr_content,
             int_content=None,
         )
-        sub = Substituter(self.oracle, bind, func_name)
+        sub = self._substituter(bind, func_name)
         for term, eff in out.items():
             if returns_unknown and instr.dest in term_free_vars(term):
                 # result value inexpressible: widen anything built on it

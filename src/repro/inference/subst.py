@@ -27,7 +27,7 @@ the location the post-state *term* denotes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Set
+from typing import Dict, FrozenSet, Optional, Set
 
 from ..lang import ast, ir
 from ..locks.terms import (
@@ -128,16 +128,27 @@ def write_for_return_binding(ret_var: str) -> "ir.IAssign":
 
 
 class Substituter:
-    """Applies one :class:`WriteInfo` backward to lock terms."""
+    """Applies one :class:`WriteInfo` backward to lock terms.
+
+    Results are memoized per substituter: the dataflow fixpoint re-applies
+    the same statement's pre-image to largely unchanged term sets on every
+    iteration, and distinct terms share subterms (which hash-consing makes
+    identical objects), so ``pre_terms``/``pre_index`` hit the memo far more
+    often than they recurse. A substituter's answers depend only on its
+    (write, scope, oracle) triple, so engines may cache and reuse whole
+    substituter instances across runs — see ``Engine._substituter``.
+    """
 
     def __init__(self, oracle: AliasOracle, write: WriteInfo,
                  term_func: str) -> None:
         self.oracle = oracle
         self.write = write
         self.term_func = term_func
+        self._term_memo: Dict[Term, FrozenSet[Term]] = {}
+        self._index_memo: Dict[IndexExpr, FrozenSet[IndexExpr]] = {}
 
     def _is_definite(self, term: Term) -> bool:
-        return self.term_func == self.write.func and term == self.write.definite
+        return self.term_func == self.write.func and term is self.write.definite
 
     def _may_be_written(self, term: Term) -> bool:
         return self.oracle.may_alias_terms(
@@ -150,6 +161,13 @@ class Substituter:
         An empty result means the denoted location is unreachable (or on a
         stuck path) in the pre-state — the term needs no pre-state lock.
         """
+        cached = self._term_memo.get(term)
+        if cached is None:
+            cached = self._pre_terms_uncached(term)
+            self._term_memo[term] = cached
+        return cached
+
+    def _pre_terms_uncached(self, term: Term) -> FrozenSet[Term]:
         if isinstance(term, TVar):
             return frozenset((term,))
         if isinstance(term, TStar):
@@ -178,6 +196,13 @@ class Substituter:
         raise TypeError(f"unknown term {term!r}")
 
     def pre_index(self, ie: IndexExpr) -> FrozenSet[IndexExpr]:
+        cached = self._index_memo.get(ie)
+        if cached is None:
+            cached = self._pre_index_uncached(ie)
+            self._index_memo[ie] = cached
+        return cached
+
+    def _pre_index_uncached(self, ie: IndexExpr) -> FrozenSet[IndexExpr]:
         if isinstance(ie, (IConst, IUnknown)):
             return frozenset((ie,))
         if isinstance(ie, IVar):

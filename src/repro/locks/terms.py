@@ -10,51 +10,140 @@ over entry-scope variables.
 The backward dataflow of §4 tracks sets of these terms; the k-limited scheme
 Σ_k admits terms of size ≤ k and widens larger ones to the enclosing
 points-to-set (coarse) lock.
+
+Terms are **hash-consed**: every constructor returns the canonical instance
+for its arguments, so structurally equal terms are the *same object*.
+Equality and hashing therefore run at identity speed (the default object
+slots), and the k-limiting measures — ``size``, ``has_unknown``,
+``free_vars`` — are computed once at construction (O(1) per node, since
+subterms are already interned and carry their own caches) instead of by
+recursive traversal on every :func:`term_size` query in the dataflow's
+inner loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import FrozenSet, Optional, Union
+from typing import Dict, FrozenSet, Tuple, Union
+
+_EMPTY_FROZENSET: FrozenSet[str] = frozenset()
 
 
 # -- integer index expressions (evaluated at section entry) -------------------
 
 
-@dataclass(frozen=True)
 class IndexExpr:
-    pass
+    """Base class for entry-scope integer index expressions."""
+
+    __slots__ = ("size", "has_unknown", "free_vars")
+
+    size: int
+    has_unknown: bool
+    free_vars: FrozenSet[str]
 
 
-@dataclass(frozen=True)
 class IVar(IndexExpr):
-    name: str
+    __slots__ = ("name",)
+
+    _intern: Dict[str, "IVar"] = {}
+
+    def __new__(cls, name: str) -> "IVar":
+        self = cls._intern.get(name)
+        if self is None:
+            self = object.__new__(cls)
+            self.name = name
+            self.size = 0
+            self.has_unknown = False
+            self.free_vars = frozenset((name,))
+            cls._intern[name] = self
+        return self
+
+    def __reduce__(self):
+        return (IVar, (self.name,))
+
+    def __repr__(self) -> str:
+        return f"IVar(name={self.name!r})"
 
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
 class IConst(IndexExpr):
-    value: int
+    __slots__ = ("value",)
+
+    _intern: Dict[int, "IConst"] = {}
+
+    def __new__(cls, value: int) -> "IConst":
+        self = cls._intern.get(value)
+        if self is None:
+            self = object.__new__(cls)
+            self.value = value
+            self.size = 0
+            self.has_unknown = False
+            self.free_vars = _EMPTY_FROZENSET
+            cls._intern[value] = self
+        return self
+
+    def __reduce__(self):
+        return (IConst, (self.value,))
+
+    def __repr__(self) -> str:
+        return f"IConst(value={self.value!r})"
 
     def __str__(self) -> str:
         return str(self.value)
 
 
-@dataclass(frozen=True)
 class IBin(IndexExpr):
-    op: str
-    left: IndexExpr
-    right: IndexExpr
+    __slots__ = ("op", "left", "right")
+
+    _intern: Dict[Tuple[str, IndexExpr, IndexExpr], "IBin"] = {}
+
+    def __new__(cls, op: str, left: IndexExpr, right: IndexExpr) -> "IBin":
+        key = (op, left, right)
+        self = cls._intern.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.op = op
+            self.left = left
+            self.right = right
+            self.size = 1 + left.size + right.size
+            self.has_unknown = left.has_unknown or right.has_unknown
+            self.free_vars = left.free_vars | right.free_vars
+            cls._intern[key] = self
+        return self
+
+    def __reduce__(self):
+        return (IBin, (self.op, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"IBin(op={self.op!r}, left={self.left!r}, right={self.right!r})"
 
     def __str__(self) -> str:
         return f"({self.left} {self.op} {self.right})"
 
 
-@dataclass(frozen=True)
 class IUnknown(IndexExpr):
     """An index value not expressible at section entry (forces coarsening)."""
+
+    __slots__ = ()
+
+    _instance: "IUnknown" = None  # type: ignore[assignment]
+
+    def __new__(cls) -> "IUnknown":
+        self = cls._instance
+        if self is None:
+            self = object.__new__(cls)
+            self.size = 0
+            self.has_unknown = True
+            self.free_vars = _EMPTY_FROZENSET
+            cls._instance = self
+        return self
+
+    def __reduce__(self):
+        return (IUnknown, ())
+
+    def __repr__(self) -> str:
+        return "IUnknown()"
 
     def __str__(self) -> str:
         return "?"
@@ -63,114 +152,180 @@ class IUnknown(IndexExpr):
 # -- lock terms ----------------------------------------------------------------
 
 
-@dataclass(frozen=True)
 class Term:
-    pass
+    """Base class for lock terms (hash-consed; see module docstring)."""
+
+    __slots__ = ("size", "has_unknown", "free_vars")
+
+    size: int
+    has_unknown: bool
+    free_vars: FrozenSet[str]
 
 
-@dataclass(frozen=True)
 class TVar(Term):
     """x̄ — protects the cell of variable x (its address &x)."""
 
-    name: str
+    __slots__ = ("name",)
+
+    _intern: Dict[str, "TVar"] = {}
+
+    def __new__(cls, name: str) -> "TVar":
+        self = cls._intern.get(name)
+        if self is None:
+            self = object.__new__(cls)
+            self.name = name
+            self.size = 1
+            self.has_unknown = False
+            self.free_vars = frozenset((name,))
+            cls._intern[name] = self
+        return self
+
+    def __reduce__(self):
+        return (TVar, (self.name,))
+
+    def __repr__(self) -> str:
+        return f"TVar(name={self.name!r})"
 
     def __str__(self) -> str:
         return f"{self.name}̄"  # x̄
 
 
-@dataclass(frozen=True)
 class TStar(Term):
     """* t — protects the cell pointed to by the content of t's cell."""
 
-    inner: Term
+    __slots__ = ("inner",)
+
+    _intern: Dict[Term, "TStar"] = {}
+
+    def __new__(cls, inner: Term) -> "TStar":
+        self = cls._intern.get(inner)
+        if self is None:
+            self = object.__new__(cls)
+            self.inner = inner
+            self.size = 1 + inner.size
+            self.has_unknown = inner.has_unknown
+            self.free_vars = inner.free_vars
+            cls._intern[inner] = self
+        return self
+
+    def __reduce__(self):
+        return (TStar, (self.inner,))
+
+    def __repr__(self) -> str:
+        return f"TStar(inner={self.inner!r})"
 
     def __str__(self) -> str:
         return f"*{self.inner}"
 
 
-@dataclass(frozen=True)
 class TPlus(Term):
     """t + f — protects the field-f cell of the object whose base t denotes."""
 
-    inner: Term
-    fieldname: str
+    __slots__ = ("inner", "fieldname")
+
+    _intern: Dict[Tuple[Term, str], "TPlus"] = {}
+
+    def __new__(cls, inner: Term, fieldname: str) -> "TPlus":
+        key = (inner, fieldname)
+        self = cls._intern.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.inner = inner
+            self.fieldname = fieldname
+            self.size = 1 + inner.size
+            self.has_unknown = inner.has_unknown
+            self.free_vars = inner.free_vars
+            cls._intern[key] = self
+        return self
+
+    def __reduce__(self):
+        return (TPlus, (self.inner, self.fieldname))
+
+    def __repr__(self) -> str:
+        return f"TPlus(inner={self.inner!r}, fieldname={self.fieldname!r})"
 
     def __str__(self) -> str:
         return f"({self.inner} + .{self.fieldname})"
 
 
-@dataclass(frozen=True)
 class TIndex(Term):
     """t +[ie] — protects the dynamically indexed cell."""
 
-    inner: Term
-    index: IndexExpr
+    __slots__ = ("inner", "index")
+
+    _intern: Dict[Tuple[Term, IndexExpr], "TIndex"] = {}
+
+    def __new__(cls, inner: Term, index: IndexExpr) -> "TIndex":
+        key = (inner, index)
+        self = cls._intern.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.inner = inner
+            self.index = index
+            self.size = 1 + inner.size + index.size
+            self.has_unknown = inner.has_unknown or index.has_unknown
+            self.free_vars = inner.free_vars | index.free_vars
+            cls._intern[key] = self
+        return self
+
+    def __reduce__(self):
+        return (TIndex, (self.inner, self.index))
+
+    def __repr__(self) -> str:
+        return f"TIndex(inner={self.inner!r}, index={self.index!r})"
 
     def __str__(self) -> str:
         return f"({self.inner} +[{self.index}])"
+
+
+_INTERNED_CLASSES = (IVar, IConst, IBin, TVar, TStar, TPlus, TIndex)
+
+
+def interning_stats() -> Dict[str, int]:
+    """Size of each intern table (for the :class:`AnalysisProfile`)."""
+    return {cls.__name__: len(cls._intern) for cls in _INTERNED_CLASSES}
+
+
+def clear_intern_caches() -> None:
+    """Drop all canonical instances (tests / long-lived sweep processes).
+
+    Safe at any quiescent point: terms constructed afterwards are new
+    canonical objects, and previously built terms keep comparing equal to
+    themselves; only cross-generation structural equality would degrade to
+    identity inequality, so never call this mid-analysis.
+    """
+    for cls in _INTERNED_CLASSES:
+        cls._intern.clear()
+    IUnknown._instance = None  # type: ignore[assignment]
 
 
 # -- measures ---------------------------------------------------------------
 
 
 def index_size(ie: IndexExpr) -> int:
-    if isinstance(ie, IBin):
-        return 1 + index_size(ie.left) + index_size(ie.right)
-    return 0
+    return ie.size
 
 
 def term_size(term: Term) -> int:
     """The k-limiting length: 1 for the base variable plus 1 per operator."""
-    if isinstance(term, TVar):
-        return 1
-    if isinstance(term, TStar):
-        return 1 + term_size(term.inner)
-    if isinstance(term, TPlus):
-        return 1 + term_size(term.inner)
-    if isinstance(term, TIndex):
-        return 1 + term_size(term.inner) + index_size(term.index)
-    raise TypeError(f"unknown term {term!r}")
+    return term.size
 
 
 def index_has_unknown(ie: IndexExpr) -> bool:
-    if isinstance(ie, IUnknown):
-        return True
-    if isinstance(ie, IBin):
-        return index_has_unknown(ie.left) or index_has_unknown(ie.right)
-    return False
+    return ie.has_unknown
 
 
 def term_has_unknown(term: Term) -> bool:
     """True if the term contains an index not evaluable at section entry."""
-    if isinstance(term, TVar):
-        return False
-    if isinstance(term, TStar):
-        return term_has_unknown(term.inner)
-    if isinstance(term, TPlus):
-        return term_has_unknown(term.inner)
-    if isinstance(term, TIndex):
-        return index_has_unknown(term.index) or term_has_unknown(term.inner)
-    raise TypeError(f"unknown term {term!r}")
+    return term.has_unknown
 
 
 def index_free_vars(ie: IndexExpr) -> FrozenSet[str]:
-    if isinstance(ie, IVar):
-        return frozenset((ie.name,))
-    if isinstance(ie, IBin):
-        return index_free_vars(ie.left) | index_free_vars(ie.right)
-    return frozenset()
+    return ie.free_vars
 
 
 def term_free_vars(term: Term) -> FrozenSet[str]:
-    if isinstance(term, TVar):
-        return frozenset((term.name,))
-    if isinstance(term, TStar):
-        return term_free_vars(term.inner)
-    if isinstance(term, TPlus):
-        return term_free_vars(term.inner)
-    if isinstance(term, TIndex):
-        return term_free_vars(term.inner) | index_free_vars(term.index)
-    raise TypeError(f"unknown term {term!r}")
+    return term.free_vars
 
 
 def base_var(term: Term) -> str:

@@ -9,6 +9,12 @@ The inference framework consumes the pointer analysis through two questions:
 
 With a unification-based analysis both reduce to walking the term through
 the ECR graph: two cells may alias iff their classes coincide.
+
+Both queries sit in the dataflow's inner loop (every substitution step asks
+``may_alias_terms`` once per deref), so the oracle keeps memo tables for
+``class_of_term`` and ``may_alias_terms`` on top of the ECR cache. The memo
+tables are only sound while the underlying points-to solution is stable;
+anything that unifies further ECRs afterwards must call :meth:`invalidate`.
 """
 
 from __future__ import annotations
@@ -25,6 +31,15 @@ class AliasOracle:
     def __init__(self, pointsto: PointsTo) -> None:
         self.pointsto = pointsto
         self._cache: Dict[Tuple[str, Term], ECR] = {}
+        self._class_cache: Dict[Tuple[str, Term], int] = {}
+        self._alias_cache: Dict[Tuple[str, Term, str, Term], bool] = {}
+
+    def invalidate(self) -> None:
+        """Drop all memoized answers (call after mutating the points-to
+        solution, e.g. re-running unification on an extended program)."""
+        self._cache.clear()
+        self._class_cache.clear()
+        self._alias_cache.clear()
 
     def term_ecr(self, func_name: str, term: Term) -> ECR:
         """ECR of the cell *term* denotes, with variables scoped to
@@ -49,13 +64,27 @@ class AliasOracle:
         return ecr
 
     def class_of_term(self, func_name: str, term: Term) -> int:
-        return self.pointsto.class_id(self.term_ecr(func_name, term))
+        key = (func_name, term)
+        cached = self._class_cache.get(key)
+        if cached is None:
+            cached = self.pointsto.class_id(self.term_ecr(func_name, term))
+            self._class_cache[key] = cached
+        return cached
 
     def may_alias_terms(self, func_a: str, a: Term, func_b: str, b: Term) -> bool:
-        """May the cells denoted by *a* and *b* coincide? Unification-based:
-        yes iff their classes are equal (plus the trivial syntactic case)."""
-        if func_a == func_b and a == b:
+        """May the cells denoted by *a* and *b* coincide?"""
+        if func_a == func_b and a is b:
             return True
+        key = (func_a, a, func_b, b)
+        cached = self._alias_cache.get(key)
+        if cached is None:
+            cached = self._may_alias_uncached(func_a, a, func_b, b)
+            self._alias_cache[key] = cached
+        return cached
+
+    def _may_alias_uncached(self, func_a: str, a: Term, func_b: str,
+                            b: Term) -> bool:
+        """Unification-based answer: yes iff the ECR classes are equal."""
         return self.term_ecr(func_a, a) is self.term_ecr(func_b, b)
 
     def var_cell_class(self, func_name: str, name: str) -> ECR:

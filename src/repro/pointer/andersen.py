@@ -12,9 +12,13 @@ Abstract locations (nodes):
   site, field-sensitively (``None`` = base cell, field name, or ``$idx``
   for all array cells).
 
-Constraints follow the lowered IR; the solver is a standard worklist over
-subset constraints with deref edges (complex constraints re-fire when the
-points-to set of their pivot grows).
+Constraints follow the lowered IR; the solver is a worklist over subset
+constraints with deref edges, run with **difference (delta) propagation**:
+each node carries a pending set of newly-discovered pointees, and a dequeue
+processes only that delta — complex constraints fire per new fact and simple
+edges forward just the delta — instead of re-scanning the node's full
+points-to set on every visit (the classic quadratic-rescanning fix, cf.
+Pearce et al.'s difference propagation for field-sensitive Andersen).
 
 The points-to *partition* used for coarse locks stays Steensgaard's (an
 inclusion analysis does not induce disjoint classes); Andersen only answers
@@ -54,7 +58,12 @@ class Andersen:
         #   ("offset", dst, fieldname): for l in pts[pivot]: pts[dst] ∋ l+f
         self._complex: Dict[Node, Set[Tuple]] = {}
         self._worklist: deque = deque()
+        # delta propagation: pending[n] holds facts added to pts[n] that have
+        # not yet been pushed through n's edges and complex constraints
+        self._pending: Dict[Node, Set[Node]] = {}
         self._analyzed = False
+        self._term_cells_cache: Dict[Tuple[str, Term], FrozenSet[Node]] = {}
+        self.stats = {"propagated_facts": 0, "dequeues": 0}
 
     # -- node helpers ---------------------------------------------------------
 
@@ -79,25 +88,34 @@ class Andersen:
         succs = self._succs.setdefault(src, set())
         if dst not in succs:
             succs.add(dst)
-            if self._pts(src):
-                self._enqueue(src)
+            # one-time transfer of src's existing facts; future facts arrive
+            # as deltas through the edge
+            existing = self.pts.get(src)
+            if existing:
+                self._add_to(dst, existing)
 
     def _add_to(self, node: Node, locs: Set[Node]) -> None:
         target = self._pts(node)
         new = locs - target
         if new:
             target |= new
-            self._enqueue(node)
-
-    def _enqueue(self, node: Node) -> None:
-        self._worklist.append(node)
+            pending = self._pending.get(node)
+            if pending is None:
+                self._pending[node] = set(new)
+                self._worklist.append(node)
+            else:
+                if not pending:
+                    self._worklist.append(node)
+                pending |= new
 
     def _add_complex(self, pivot: Node, constraint: Tuple) -> None:
         table = self._complex.setdefault(pivot, set())
         if constraint not in table:
             table.add(constraint)
-            if self._pts(pivot):
-                self._enqueue(pivot)
+            existing = self.pts.get(pivot)
+            if existing:
+                # catch the constraint up on facts that already propagated
+                self._apply_constraint(constraint, existing)
 
     # -- constraint generation --------------------------------------------------
 
@@ -159,30 +177,38 @@ class Andersen:
 
     # -- solver -------------------------------------------------------------------
 
+    def _apply_constraint(self, constraint: Tuple, locs: Set[Node]) -> None:
+        kind = constraint[0]
+        if kind == "load":
+            for loc in list(locs):
+                self._add_edge(loc, constraint[1])
+        elif kind == "store":
+            for loc in list(locs):
+                self._add_edge(constraint[1], loc)
+        else:  # offset
+            targets = set()
+            for loc in locs:
+                target = self.offset_node(loc, constraint[2])
+                if target is not None:
+                    targets.add(target)
+            if targets:
+                self._add_to(constraint[1], targets)
+
     def _solve(self) -> None:
-        seen_pairs: Set[Tuple[Node, Tuple]] = set()
         while self._worklist:
             node = self._worklist.popleft()
-            locs = self.pts.get(node, set())
-            if not locs:
+            delta = self._pending.get(node)
+            if not delta:
                 continue
+            # detach the delta so re-entrant _add_to calls start a fresh one
+            self._pending[node] = set()
+            self.stats["dequeues"] += 1
+            self.stats["propagated_facts"] += len(delta)
             for constraint in list(self._complex.get(node, ())):
-                for loc in list(locs):
-                    pair = (loc, constraint)
-                    if pair in seen_pairs:
-                        continue
-                    seen_pairs.add(pair)
-                    kind = constraint[0]
-                    if kind == "load":
-                        self._add_edge(loc, constraint[1])
-                    elif kind == "store":
-                        self._add_edge(constraint[1], loc)
-                    else:  # offset
-                        target = self.offset_node(loc, constraint[2])
-                        if target is not None:
-                            self._add_to(constraint[1], {target})
+                self._apply_constraint(constraint, delta)
             for succ in list(self._succs.get(node, ())):
-                self._add_to(succ, locs)
+                self._add_to(succ, delta)
+        self._pending.clear()
 
     # -- queries --------------------------------------------------------------------
 
@@ -190,7 +216,18 @@ class Andersen:
         return frozenset(self.pts.get(self.var_node(func, name), ()))
 
     def cells_of_term(self, func: str, term: Term) -> FrozenSet[Node]:
-        """The abstract cells a lock term may denote."""
+        """The abstract cells a lock term may denote (memoized once the
+        solution is stable)."""
+        if self._analyzed:
+            key = (func, term)
+            cached = self._term_cells_cache.get(key)
+            if cached is None:
+                cached = self._cells_of_term(func, term)
+                self._term_cells_cache[key] = cached
+            return cached
+        return self._cells_of_term(func, term)
+
+    def _cells_of_term(self, func: str, term: Term) -> FrozenSet[Node]:
         if isinstance(term, TVar):
             return frozenset((self.var_node(func, term.name),))
         if isinstance(term, TStar):
@@ -222,13 +259,12 @@ class AndersenOracle(AliasOracle):
         super().__init__(pointsto)
         self.andersen = andersen
 
-    def may_alias_terms(self, func_a: str, a: Term, func_b: str, b: Term) -> bool:
-        if func_a == func_b and a == b:
-            return True
+    def _may_alias_uncached(self, func_a: str, a: Term, func_b: str,
+                            b: Term) -> bool:
         cells_a = self.andersen.cells_of_term(func_a, a)
         cells_b = self.andersen.cells_of_term(func_b, b)
         if not cells_a or not cells_b:
             # one side is empty (e.g. a path through uninitialized state):
             # fall back to the unification answer to stay conservative
-            return super().may_alias_terms(func_a, a, func_b, b)
+            return super()._may_alias_uncached(func_a, a, func_b, b)
         return bool(cells_a & cells_b)

@@ -83,6 +83,9 @@ class LockManager:
     def __init__(self) -> None:
         self.nodes: Dict[object, LockNode] = {ROOT: LockNode(ROOT)}
         self.held: Dict[int, List[LockNode]] = {}
+        # mirrors self.held as a per-thread name set for O(1) membership
+        # (self.held stays a list because release order matters)
+        self._held_names: Dict[int, set] = {}
         self.stats = LockStats()
 
     def node(self, name: object) -> LockNode:
@@ -105,9 +108,10 @@ class LockManager:
         acquired = node.try_acquire(tid, mode)
         if acquired:
             self.stats.node_acquires += 1
-            held = self.held.setdefault(tid, [])
-            if node not in held:
-                held.append(node)
+            names = self._held_names.setdefault(tid, set())
+            if name not in names:
+                names.add(name)
+                self.held.setdefault(tid, []).append(node)
         else:
             self.stats.blocks += 1
         return acquired
@@ -117,6 +121,7 @@ class LockManager:
         for node in reversed(self.held.get(tid, [])):
             node.release(tid)
         self.held[tid] = []
+        self._held_names[tid] = set()
 
     def holds_any(self, tid: int) -> bool:
         return bool(self.held.get(tid))

@@ -1,0 +1,190 @@
+"""Property tests for hash-consed lock terms (repro.locks.terms).
+
+Interning invariants:
+
+* structurally equal construction yields the *same object* (``is``);
+* hashing/equality are unchanged observably: equal terms are ``==`` with
+  equal hashes, distinct terms are ``!=``;
+* the cached measures (``term_size``, ``term_free_vars``,
+  ``term_has_unknown``) agree with a from-scratch recursive recomputation
+  on randomized terms;
+* pickling round-trips through the intern tables (identity preserved).
+"""
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locks.terms import (
+    IBin,
+    IConst,
+    IUnknown,
+    IVar,
+    TIndex,
+    TPlus,
+    TStar,
+    TVar,
+    index_free_vars,
+    index_has_unknown,
+    index_size,
+    term_for_access_path,
+    term_free_vars,
+    term_has_unknown,
+    term_size,
+)
+
+names = st.sampled_from(["x", "y", "z", "p", "q", "head"])
+fields = st.sampled_from(["next", "data", "key"])
+
+
+def index_exprs():
+    return st.recursive(
+        st.one_of(
+            names.map(IVar),
+            st.integers(min_value=-4, max_value=9).map(IConst),
+            st.just(IUnknown()),
+        ),
+        lambda children: st.builds(
+            IBin, st.sampled_from(["+", "-", "*"]), children, children
+        ),
+        max_leaves=6,
+    )
+
+
+def terms():
+    return st.recursive(
+        names.map(TVar),
+        lambda children: st.one_of(
+            children.map(TStar),
+            st.builds(TPlus, children, fields),
+            st.builds(TIndex, children, index_exprs()),
+        ),
+        max_leaves=8,
+    )
+
+
+def rebuild(term):
+    """Reconstruct the term bottom-up through the public constructors."""
+    if isinstance(term, TVar):
+        return TVar(term.name)
+    if isinstance(term, TStar):
+        return TStar(rebuild(term.inner))
+    if isinstance(term, TPlus):
+        return TPlus(rebuild(term.inner), term.fieldname)
+    return TIndex(rebuild(term.inner), rebuild_index(term.index))
+
+
+def rebuild_index(ie):
+    if isinstance(ie, IVar):
+        return IVar(ie.name)
+    if isinstance(ie, IConst):
+        return IConst(ie.value)
+    if isinstance(ie, IUnknown):
+        return IUnknown()
+    return IBin(ie.op, rebuild_index(ie.left), rebuild_index(ie.right))
+
+
+# -- reference (pre-interning) recursive measures ---------------------------
+
+
+def ref_index_size(ie):
+    if isinstance(ie, IBin):
+        return 1 + ref_index_size(ie.left) + ref_index_size(ie.right)
+    return 0
+
+
+def ref_term_size(term):
+    if isinstance(term, TVar):
+        return 1
+    if isinstance(term, TStar):
+        return 1 + ref_term_size(term.inner)
+    if isinstance(term, TPlus):
+        return 1 + ref_term_size(term.inner)
+    return 1 + ref_term_size(term.inner) + ref_index_size(term.index)
+
+
+def ref_index_unknown(ie):
+    if isinstance(ie, IUnknown):
+        return True
+    if isinstance(ie, IBin):
+        return ref_index_unknown(ie.left) or ref_index_unknown(ie.right)
+    return False
+
+
+def ref_term_unknown(term):
+    if isinstance(term, TVar):
+        return False
+    if isinstance(term, TIndex):
+        return ref_index_unknown(term.index) or ref_term_unknown(term.inner)
+    return ref_term_unknown(term.inner)
+
+
+def ref_index_free(ie):
+    if isinstance(ie, IVar):
+        return frozenset((ie.name,))
+    if isinstance(ie, IBin):
+        return ref_index_free(ie.left) | ref_index_free(ie.right)
+    return frozenset()
+
+
+def ref_term_free(term):
+    if isinstance(term, TVar):
+        return frozenset((term.name,))
+    if isinstance(term, TIndex):
+        return ref_term_free(term.inner) | ref_index_free(term.index)
+    return ref_term_free(term.inner)
+
+
+# -- properties -------------------------------------------------------------
+
+
+@given(terms())
+@settings(max_examples=200)
+def test_equal_terms_intern_to_same_object(term):
+    clone = rebuild(term)
+    assert clone is term
+    assert clone == term
+    assert hash(clone) == hash(term)
+
+
+@given(terms(), terms())
+@settings(max_examples=200)
+def test_equality_matches_structure(a, b):
+    same = str(a) == str(b) and type(a) is type(b)
+    assert (a == b) == same
+    assert (a is b) == same
+
+
+@given(terms())
+@settings(max_examples=200)
+def test_cached_measures_agree_with_recomputation(term):
+    assert term_size(term) == ref_term_size(term)
+    assert term_has_unknown(term) == ref_term_unknown(term)
+    assert term_free_vars(term) == ref_term_free(term)
+
+
+@given(index_exprs())
+@settings(max_examples=200)
+def test_cached_index_measures_agree_with_recomputation(ie):
+    assert index_size(ie) == ref_index_size(ie)
+    assert index_has_unknown(ie) == ref_index_unknown(ie)
+    assert index_free_vars(ie) == ref_index_free(ie)
+
+
+@given(terms())
+@settings(max_examples=100)
+def test_pickle_round_trip_preserves_identity(term):
+    assert pickle.loads(pickle.dumps(term)) is term
+
+
+def test_terms_usable_as_dict_keys_across_constructions():
+    t1 = term_for_access_path("x", "*", "next", "*")
+    table = {t1: "hit"}
+    t2 = TStar(TPlus(TStar(TVar("x")), "next"))
+    assert table[t2] == "hit"
+
+
+def test_unknown_is_singleton():
+    assert IUnknown() is IUnknown()
+    assert TIndex(TVar("a"), IUnknown()) is TIndex(TVar("a"), IUnknown())
