@@ -1,0 +1,222 @@
+"""Schedule-exploration benchmark: coverage, canaries, and detector cost.
+
+Exercises the ``repro.explore`` subsystem end to end and writes
+``BENCH_explore.json`` at the repo root:
+
+* **coverage** — random + PCT sweeps over the differential corpus
+  (zero violations expected on the transformed programs);
+* **fault canary** — every fault-injection kind on the counter must be
+  detected by the §4.2 protection checker, and ``drop-acquire`` with the
+  checker disabled must be caught by the happens-before race detector
+  (the checkers are not vacuous);
+* **exhaustive** — the DFS enumerator's leaf count must equal the
+  multinomial closed form for a 2-thread 6-event micro-program;
+* **differential** — inferred × global × STM final states must match the
+  sequential baseline on every explored schedule;
+* **detector overhead** — wall-clock of a hashtable sweep with the race
+  detector on vs off; the PR's acceptance bar is ≤ 3×.
+
+Run standalone (``python benchmarks/bench_explore.py [--quick]``,
+``--quick`` = CI smoke: fewer schedules, no JSON rewrite) or under pytest
+(``pytest benchmarks/bench_explore.py``).
+"""
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import emit_report  # noqa: E402
+from repro.explore import (  # noqa: E402
+    DIFF_CORPUS,
+    differential_check,
+    explore_program,
+    exhaustive_explore,
+    interleaving_count,
+)
+from repro.sim import Scheduler  # noqa: E402
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_explore.json")
+
+OVERHEAD_BAR = 3.0  # race detector may cost at most 3x the undetected run
+
+
+def coverage_sweep(quick: bool):
+    schedules = 10 if quick else 50
+    rows = {}
+    for name in sorted(DIFF_CORPUS):
+        for policy in ("random", "pct"):
+            report = explore_program(
+                name, policy=policy, seed=0, schedules=schedules,
+                threads=4, ops=8,
+            )
+            rows[f"{name}/{policy}"] = {
+                "schedules": report.schedules_explored,
+                "distinct_classes": report.distinct_classes,
+                "violations": report.detections,
+            }
+    return rows
+
+
+def fault_canaries():
+    rows = {}
+    for kind in ("drop-acquire", "drop-node", "weaken-acquire"):
+        report = explore_program(
+            "counter", policy="random", seed=0, schedules=10,
+            threads=3, ops=4, fault=kind,
+        )
+        rows[kind] = {
+            "detections": report.detections,
+            "affected_schedules": report.affected_schedules,
+        }
+    # checker off: the race detector alone must catch the dropped acquire
+    report = explore_program(
+        "counter", policy="random", seed=0, schedules=10,
+        threads=3, ops=4, fault="drop-acquire", check=False,
+    )
+    rows["drop-acquire/no-checker"] = {
+        "detections": report.detections,
+        "races": report.races_total,
+    }
+    return rows
+
+
+def exhaustive_check():
+    def worker(n):
+        for _ in range(n):
+            yield 1
+
+    def run(policy):
+        scheduler = Scheduler(ncores=1, policy=policy)
+        scheduler.spawn(worker(3))
+        scheduler.spawn(worker(3))
+        return scheduler.run().ticks
+
+    outcomes, complete = exhaustive_explore(run, limit=1000)
+    expected = interleaving_count([3, 3])
+    return {
+        "leaves": len(outcomes),
+        "closed_form": expected,
+        "complete": complete,
+        "match": complete and len(outcomes) == expected,
+    }
+
+
+def differential_sweep(quick: bool):
+    schedules = 3 if quick else 10
+    rows = {}
+    for name in sorted(DIFF_CORPUS):
+        report = differential_check(
+            name, schedules=schedules, threads=3, ops=6,
+        )
+        rows[name] = report.to_dict()
+    return rows
+
+
+def detector_overhead(quick: bool):
+    schedules = 5 if quick else 20
+    kwargs = dict(policy="random", seed=0, schedules=schedules,
+                  threads=4, ops=8)
+    # warm the inference cache so neither side pays the analysis
+    explore_program("hashtable", detector=False, schedules=1,
+                    policy="random", seed=0, threads=4, ops=8)
+    started = time.perf_counter()
+    explore_program("hashtable", detector=False, **kwargs)
+    base = time.perf_counter() - started
+    started = time.perf_counter()
+    explore_program("hashtable", detector=True, **kwargs)
+    detected = time.perf_counter() - started
+    return {
+        "schedules": schedules,
+        "without_detector_s": round(base, 4),
+        "with_detector_s": round(detected, 4),
+        "overhead_x": round(detected / base, 2) if base else None,
+        "bar_x": OVERHEAD_BAR,
+    }
+
+
+def measure(quick: bool = False):
+    return {
+        "benchmark": "schedule-exploration",
+        "quick": quick,
+        "coverage": coverage_sweep(quick),
+        "fault_canaries": fault_canaries(),
+        "exhaustive": exhaustive_check(),
+        "differential": differential_sweep(quick),
+        "detector_overhead": detector_overhead(quick),
+    }
+
+
+def render(report) -> str:
+    lines = [f"{'Program/policy':22s} {'scheds':>6s} {'classes':>8s} "
+             f"{'violations':>10s}"]
+    for key, row in sorted(report["coverage"].items()):
+        lines.append(f"{key:22s} {row['schedules']:6d} "
+                     f"{row['distinct_classes']:8d} {row['violations']:10d}")
+    lines.append("")
+    lines.append("fault canaries (detections must be > 0):")
+    for kind, row in sorted(report["fault_canaries"].items()):
+        lines.append(f"  {kind:24s} detections={row['detections']}"
+                     + (f" races={row['races']}" if "races" in row else ""))
+    ex = report["exhaustive"]
+    lines.append(f"exhaustive: {ex['leaves']} leaves vs closed form "
+                 f"{ex['closed_form']} -> "
+                 f"{'match' if ex['match'] else 'MISMATCH'}")
+    lines.append("differential conformance:")
+    for name, row in sorted(report["differential"].items()):
+        lines.append(f"  {name:14s} {'OK' if row['ok'] else 'FAIL'}")
+    oh = report["detector_overhead"]
+    lines.append(f"race-detector overhead: {oh['with_detector_s']:.3f}s vs "
+                 f"{oh['without_detector_s']:.3f}s = {oh['overhead_x']}x "
+                 f"(bar {oh['bar_x']}x)")
+    return "\n".join(lines)
+
+
+def check(report) -> None:
+    for key, row in report["coverage"].items():
+        assert row["violations"] == 0, f"violations in clean sweep {key}"
+    for kind, row in report["fault_canaries"].items():
+        assert row["detections"] > 0, f"fault {kind} went undetected"
+    assert report["fault_canaries"]["drop-acquire/no-checker"]["races"] > 0
+    assert report["exhaustive"]["match"]
+    for name, row in report["differential"].items():
+        assert row["ok"], f"differential mismatch on {name}"
+    assert report["detector_overhead"]["overhead_x"] <= OVERHEAD_BAR
+
+
+def write_json(report) -> str:
+    path = os.path.abspath(JSON_PATH)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def test_explore(benchmark):
+    benchmark.group = "schedule-exploration"
+    report = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["overhead_x"] = (
+        report["detector_overhead"]["overhead_x"])
+    write_json(report)
+    emit_report(
+        "explore",
+        "Schedule exploration: coverage, canaries, differential, overhead",
+        render(report),
+    )
+    check(report)
+
+
+def main(argv=None) -> int:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    report = measure(quick=quick)
+    print(render(report))
+    check(report)
+    path = write_json(report)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,6 +70,13 @@ class _InferenceCache:
 _CACHE = _InferenceCache()
 
 
+def inference_for(source: str, k: int) -> InferenceResult:
+    """Memoized lock inference per (source, k) — shared by the benchmark
+    harness and the schedule explorer, so sweeping N schedules re-analyzes
+    nothing."""
+    return _CACHE.get(source, k)
+
+
 def run_seq(world: World, func: str, args: Sequence[int] = ()) -> object:
     """Drive one call to completion in sequential mode (setup phases)."""
     gen = ThreadExec(world, tid=10_000, mode="seq").call(func, list(args))
@@ -80,12 +87,25 @@ def run_seq(world: World, func: str, args: Sequence[int] = ()) -> object:
         return stop.value
 
 
-def build_world(
-    spec: BenchSpec, config: str, check: bool = True, audit: bool = False
+def build_world_for_source(
+    source: str,
+    config: str,
+    check: bool = True,
+    audit: bool = False,
+    race=None,
+    faults=None,
+    setup: str = "setup",
+    k: Optional[int] = None,
 ) -> Tuple[World, str]:
-    """Prepare a world for *config*; returns (world, interpreter mode)."""
-    k = CONFIG_K.get(config, 9)
-    inference = _CACHE.get(spec.source, k)
+    """Prepare a world for *config* from a raw mini-C source.
+
+    *race* is an optional :class:`~repro.interp.race.RaceDetector`,
+    *faults* an optional :class:`~repro.runtime.faults.FaultInjector`; *k*
+    overrides the configuration's default k-limit (negative tests sweep
+    it). The setup phase runs sequentially, then the race detector's
+    barrier marks the fork point so initialization never reports."""
+    k = CONFIG_K.get(config, 9) if k is None else k
+    inference = _CACHE.get(source, k)
     if config == "stm":
         program: ir.LoweredProgram = inference.program
         mode = "stm"
@@ -95,9 +115,23 @@ def build_world(
     else:
         program = transform_with_inference(inference)
         mode = "locks"
-    world = World(program, pointsto=inference.pointsto, check=check, audit=audit)
-    run_seq(world, spec.setup)
+    world = World(program, pointsto=inference.pointsto, check=check,
+                  audit=audit, race=race, faults=faults)
+    run_seq(world, setup)
+    if race is not None:
+        race.barrier()
     return world, mode
+
+
+def build_world(
+    spec: BenchSpec, config: str, check: bool = True, audit: bool = False,
+    **kwargs,
+) -> Tuple[World, str]:
+    """Prepare a world for *config*; returns (world, interpreter mode)."""
+    return build_world_for_source(
+        spec.source, config, check=check, audit=audit, setup=spec.setup,
+        **kwargs,
+    )
 
 
 def run_benchmark(
@@ -110,11 +144,12 @@ def run_benchmark(
     check: bool = True,
     audit: bool = False,
     seed: int = 1234,
+    policy=None,
 ) -> RunResult:
     n_ops = n_ops if n_ops is not None else spec.default_ops
     world, mode = build_world(spec, config, check=check, audit=audit)
     schedules = spec.schedule(setting, threads, n_ops, seed=seed)
-    scheduler = Scheduler(ncores=ncores)
+    scheduler = Scheduler(ncores=ncores, policy=policy)
     for tid, ops in enumerate(schedules):
         scheduler.spawn(ThreadExec(world, tid, mode=mode).run_ops(ops))
     stats = scheduler.run()

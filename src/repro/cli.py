@@ -12,6 +12,13 @@ Commands:
   simulate one benchmark cell and print the makespan and statistics;
 * ``bench-table2 [--ops N]`` / ``bench-figure7`` — regenerate a paper
   experiment from the command line;
+* ``explore <program|all> [--policy P] [--seed S] [--schedules N]
+  [--inject-fault KIND] [--diff]`` — schedule exploration with the race
+  detector, protection checker, and serializability auditor armed;
+  ``--diff`` runs the differential conformance harness (inferred ×
+  global × STM against the sequential baseline) instead. Exits non-zero
+  when violations are found — or, with ``--inject-fault``, when the
+  seeded bug is *not* detected (checker vacuity canary);
 * ``list-benchmarks`` — show the registered benchmark programs.
 """
 
@@ -103,6 +110,52 @@ def cmd_bench_figure7(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    from .explore import (
+        DIFF_CORPUS,
+        differential_check,
+        explore_program,
+        resolve_target,
+    )
+
+    if args.program == "all":
+        names = sorted(DIFF_CORPUS)
+    else:
+        try:
+            resolve_target(args.program)
+        except ValueError as err:
+            print(err, file=sys.stderr)
+            return 2
+        names = [args.program]
+    failed = False
+    for name in names:
+        if args.diff:
+            report = differential_check(
+                name, policy=args.policy, seed=args.seed,
+                schedules=args.schedules, threads=args.threads, ops=args.ops,
+                ncores=args.cores, depth=args.depth,
+            )
+            print(report.describe())
+            failed = failed or not report.ok
+        else:
+            report = explore_program(
+                name, policy=args.policy, seed=args.seed,
+                schedules=args.schedules, threads=args.threads, ops=args.ops,
+                config=args.config, fault=args.inject_fault,
+                detector=not args.no_detector, check=not args.no_check,
+                audit=not args.no_audit, k=args.k, ncores=args.cores,
+                depth=args.depth, setting=args.setting,
+            )
+            print(report.describe())
+            if args.inject_fault:
+                # canary: the seeded bug MUST be detected
+                failed = failed or report.detections == 0
+            else:
+                failed = failed or report.detections > 0
+        print()
+    return 1 if failed else 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     for name, spec in sorted(ALL_BENCHMARKS.items()):
         settings = ", ".join(s or "-" for s in spec.settings)
@@ -147,6 +200,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench-figure7", help="regenerate Figure 7")
     p.set_defaults(func=cmd_bench_figure7)
+
+    p = sub.add_parser(
+        "explore",
+        help="schedule exploration / race detection / differential check",
+    )
+    p.add_argument("program",
+                   help="corpus or benchmark program name, or 'all'")
+    p.add_argument("--policy", default="random",
+                   choices=("rr", "round-robin", "random", "pct",
+                            "exhaustive"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--schedules", type=int, default=50,
+                   help="schedules to sample (enumeration cap for "
+                        "--policy exhaustive)")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--ops", type=int, default=8)
+    p.add_argument("--config", choices=CONFIGS, default="fine+coarse")
+    p.add_argument("--cores", type=int, default=2)
+    p.add_argument("--depth", type=int, default=3,
+                   help="PCT priority-change-point count")
+    p.add_argument("--setting", choices=("low", "high"), default=None)
+    p.add_argument("--k", type=int, default=None,
+                   help="override the configuration's k-limit")
+    p.add_argument("--inject-fault", default=None,
+                   choices=("drop-acquire", "drop-node", "weaken-acquire"),
+                   help="seed a locking bug; exit non-zero if undetected")
+    p.add_argument("--no-detector", action="store_true",
+                   help="disable the dynamic race detector")
+    p.add_argument("--no-check", action="store_true",
+                   help="disable the §4.2 protection checker")
+    p.add_argument("--no-audit", action="store_true",
+                   help="disable the serializability auditor")
+    p.add_argument("--diff", action="store_true",
+                   help="differential conformance instead of exploration")
+    p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("list-benchmarks", help="list benchmark programs")
     p.set_defaults(func=cmd_list)

@@ -1,0 +1,147 @@
+"""The differential-conformance corpus: commutative-by-construction
+workloads with semantic observers.
+
+Final *concrete* heap states are not comparable across configurations —
+TL2 aborts re-execute allocations and interleavings reorder bucket
+chains — and final *abstract* states are only schedule-independent when
+every pair of cross-thread operations commutes. Each
+:class:`DiffProgram` therefore partitions the keyspace per thread (thread
+``t`` only touches keys ``t*KEY_STRIDE .. (t+1)*KEY_STRIDE-1``) while
+still contending on the shared structure (bucket chains, the size
+counter, list spines), and pairs the workload with *observer* calls —
+read-only operations run sequentially after the concurrent phase whose
+results form a semantic fingerprint. Under the paper's guarantees the
+fingerprint of every configuration, on every explored schedule, must
+equal the sequential baseline.
+
+The shared counter stays fully commutative without key partitioning
+(increments commute), which also makes it the sharpest race seed: its
+read–pad–write window is the classic lost-update shape.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..bench.programs import micro
+
+Op = Tuple[str, Tuple[int, ...]]
+
+KEY_STRIDE = 8  # per-thread private key range width
+
+COUNTER_SRC = """
+struct counter { int value; }
+counter* C;
+
+void setup() {
+  C = new counter;
+}
+
+void incr() {
+  atomic {
+    int v = C->value;
+    nop(3);
+    C->value = v + 1;
+  }
+}
+
+int get() {
+  int r;
+  atomic { r = C->value; }
+  return r;
+}
+
+void main() {
+  setup();
+  incr();
+  int g = get();
+}
+"""
+
+
+@dataclass(frozen=True)
+class DiffProgram:
+    """One conformance workload: program + per-thread ops + observers."""
+
+    name: str
+    source: str
+    make_thread_ops: Callable[[int, int], List[Op]]  # (tid, n_ops)
+    make_observers: Callable[[int, int], List[Op]]  # (threads, n_ops)
+    setup: str = "setup"
+    heap_fp: bool = False  # also compare the canonical heap fingerprint
+
+    def schedule(self, threads: int, n_ops: int) -> List[List[Op]]:
+        """Deterministic per-thread op lists (schedule-seed independent)."""
+        return [self.make_thread_ops(tid, n_ops) for tid in range(threads)]
+
+
+def _counter_ops(tid: int, n_ops: int) -> List[Op]:
+    return [("incr", ())] * n_ops
+
+
+def _counter_observers(threads: int, n_ops: int) -> List[Op]:
+    return [("get", ())]
+
+
+def _keyed_ops(tag: str, put: str, get: str, remove: str,
+               two_arg_put: bool) -> Callable[[int, int], List[Op]]:
+    def maker(tid: int, n_ops: int) -> List[Op]:
+        rng = random.Random(("diff", tag, tid).__repr__())
+        base = tid * KEY_STRIDE
+        ops: List[Op] = []
+        for _ in range(n_ops):
+            key = base + rng.randrange(KEY_STRIDE)
+            draw = rng.randrange(10)
+            if draw < 6:
+                args = (key, rng.randrange(100)) if two_arg_put else (key,)
+                ops.append((put, args))
+            elif draw < 9:
+                ops.append((get, (key,)))
+            else:
+                ops.append((remove, (key,)))
+        return ops
+
+    return maker
+
+
+def _keyed_observers(get: str) -> Callable[[int, int], List[Op]]:
+    def maker(threads: int, n_ops: int) -> List[Op]:
+        return [(get, (key,))
+                for tid in range(threads)
+                for key in range(tid * KEY_STRIDE, (tid + 1) * KEY_STRIDE)]
+
+    return maker
+
+
+DIFF_CORPUS: Dict[str, DiffProgram] = {
+    "counter": DiffProgram(
+        name="counter",
+        source=COUNTER_SRC,
+        make_thread_ops=_counter_ops,
+        make_observers=_counter_observers,
+        heap_fp=True,
+    ),
+    "hashtable": DiffProgram(
+        name="hashtable",
+        source=micro.HASHTABLE_SRC,
+        make_thread_ops=_keyed_ops("ht", "ht_put", "ht_get", "ht_remove",
+                                   two_arg_put=True),
+        make_observers=_keyed_observers("ht_get"),
+    ),
+    "hashtable-2": DiffProgram(
+        name="hashtable-2",
+        source=micro.HASHTABLE2_SRC,
+        make_thread_ops=_keyed_ops("h2", "h2_put", "h2_get", "h2_remove",
+                                   two_arg_put=True),
+        make_observers=_keyed_observers("h2_get"),
+    ),
+    "list": DiffProgram(
+        name="list",
+        source=micro.LIST_SRC,
+        make_thread_ops=_keyed_ops("list", "list_insert", "list_contains",
+                                   "list_remove", two_arg_put=False),
+        make_observers=_keyed_observers("list_contains"),
+    ),
+}

@@ -1,0 +1,76 @@
+"""Bounded exhaustive interleaving enumeration (small thread counts).
+
+The explorer treats one execution as a sequence of scheduler decisions:
+at each tick the :class:`~repro.sim.policy.ScriptedPolicy` records
+``(choice_index, n_runnable)``. Enumeration is an iterative depth-first
+search over that decision tree: replay a prefix script, let the policy
+default to choice 0 past the end, then backtrack the deepest decision
+that still has an untried sibling and re-run. Executions are fully
+deterministic given the script, so replaying a prefix always reaches the
+same decision points — no state saving or cloning is needed, only
+re-execution (Godot-style stateless model checking).
+
+For straight-line (non-blocking) programs the leaf count has a closed
+form — the multinomial coefficient over per-thread event counts — which
+:func:`interleaving_count` computes and the test-suite checks the
+explorer against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, List, Sequence, Tuple
+
+from ..sim import ScriptedPolicy
+
+
+@dataclass
+class ExhaustiveOutcome:
+    """One enumerated execution: the script that forced it, the full
+    decision trace, and whatever the runner returned."""
+
+    script: List[int]
+    choices: List[Tuple[int, int]]
+    result: Any
+
+
+def interleaving_count(event_counts: Sequence[int]) -> int:
+    """Closed-form number of tick-level interleavings of independent
+    threads with the given per-thread event counts: the multinomial
+    coefficient ``(sum n_i)! / prod(n_i!)``."""
+    total = 0
+    result = 1
+    for count in event_counts:
+        total += count
+        result *= math.comb(total, count)
+    return result
+
+
+def exhaustive_explore(
+    run: Callable[[ScriptedPolicy], Any],
+    limit: int = 100_000,
+) -> Tuple[List[ExhaustiveOutcome], bool]:
+    """Enumerate every schedule of a deterministic execution.
+
+    *run* must execute one fresh instance of the program under the given
+    scripted policy (single core — one decision per tick) and return an
+    arbitrary per-execution result. Returns ``(outcomes, complete)`` where
+    *complete* is False iff enumeration was cut off at *limit* leaves.
+    """
+    script: List[int] = []
+    outcomes: List[ExhaustiveOutcome] = []
+    while True:
+        if len(outcomes) >= limit:
+            return outcomes, False
+        policy = ScriptedPolicy(script)
+        result = run(policy)
+        choices = list(policy.choices)
+        outcomes.append(ExhaustiveOutcome(list(script), choices, result))
+        # Backtrack: drop exhausted tail decisions, advance the deepest
+        # decision that still has an untried sibling.
+        while choices and choices[-1][0] + 1 >= choices[-1][1]:
+            choices.pop()
+        if not choices:
+            return outcomes, True
+        script = [index for index, _ in choices[:-1]] + [choices[-1][0] + 1]

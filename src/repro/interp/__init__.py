@@ -2,11 +2,16 @@
 
 from .checker import ProtectionChecker, ProtectionError, SerializabilityAuditor
 from .eval import ThreadExec, World
+from .race import Access, LocksetWarning, Race, RaceDetector
 from ..memory import Frame, Globals, Heap, InterpError, Loc, Obj, Value
 
 __all__ = [
     "World",
     "ThreadExec",
+    "RaceDetector",
+    "Race",
+    "Access",
+    "LocksetWarning",
     "Heap",
     "Loc",
     "Obj",

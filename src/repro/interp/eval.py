@@ -40,10 +40,12 @@ from ..locks.terms import (
 )
 from ..pointer.steensgaard import PointsTo
 from ..runtime.api import ThreadLockState, acquire_all, plan_requests, release_all
+from ..runtime.faults import FaultInjector
 from ..runtime.modes import combine
 from ..runtime.manager import LockManager
 from ..stm.tl2 import TL2System, TL2Tx, TxAbort, backoff_ticks
 from .checker import ProtectionChecker, SerializabilityAuditor
+from .race import RaceDetector
 from ..memory import Frame, Globals, Heap, InterpError, Loc, Value
 
 
@@ -61,6 +63,8 @@ class World:
         pointsto: Optional[PointsTo] = None,
         check: bool = True,
         audit: bool = False,
+        race: Optional["RaceDetector"] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.program = program
         self.heap = Heap()
@@ -76,6 +80,8 @@ class World:
             ProtectionChecker(pointsto) if (check and pointsto is not None) else None
         )
         self.auditor = SerializabilityAuditor() if audit else None
+        self.race = race  # dynamic race detector (locks mode only)
+        self.faults = faults  # acquisition fault injector (negative tests)
         self._scope_cache: Dict[Tuple[str, str], bool] = {}
 
     def is_global_var(self, func_name: str, name: str) -> bool:
@@ -111,6 +117,7 @@ class ThreadExec:
         self.instance: Optional[int] = None  # auditor instance id
         self.tx_attempts_total = 0
         self._fresh_objs: List = []  # objects allocated in the open section
+        self.current_func: Optional[str] = None  # innermost active function
 
     def _tag_fresh(self, loc: Loc) -> None:
         """Objects allocated inside an open locks-mode section are private
@@ -135,20 +142,28 @@ class ThreadExec:
             value = self.tx.read(loc)
         else:
             value = Heap.read(loc)
-        if loc.obj.shared and self._in_atomic() and self.mode == "locks":
-            if world.checker is not None:
-                world.checker.check(self.tid, world.lock_manager, loc, RO)
-            if world.auditor is not None and self.instance is not None:
-                world.auditor.record(self.instance, loc, RO)
+        if loc.obj.shared and self.mode == "locks":
+            if world.race is not None and loc.obj.fresh_owner != self.tid:
+                world.race.on_read(self.tid, loc, self.current_func,
+                                   world.lock_manager.held_names(self.tid))
+            if self._in_atomic():
+                if world.checker is not None:
+                    world.checker.check(self.tid, world.lock_manager, loc, RO)
+                if world.auditor is not None and self.instance is not None:
+                    world.auditor.record(self.instance, loc, RO)
         return value
 
     def shared_write(self, loc: Loc, value: Value) -> None:
         world = self.world
-        if loc.obj.shared and self._in_atomic() and self.mode == "locks":
-            if world.checker is not None:
-                world.checker.check(self.tid, world.lock_manager, loc, RW)
-            if world.auditor is not None and self.instance is not None:
-                world.auditor.record(self.instance, loc, RW)
+        if loc.obj.shared and self.mode == "locks":
+            if world.race is not None and loc.obj.fresh_owner != self.tid:
+                world.race.on_write(self.tid, loc, self.current_func,
+                                    world.lock_manager.held_names(self.tid))
+            if self._in_atomic():
+                if world.checker is not None:
+                    world.checker.check(self.tid, world.lock_manager, loc, RW)
+                if world.auditor is not None and self.instance is not None:
+                    world.auditor.record(self.instance, loc, RW)
         if self.tx is not None and loc.obj.shared:
             self.extra_cost += 2
             self.tx.write(loc, value)
@@ -194,10 +209,14 @@ class ThreadExec:
         frame = Frame(self.world.heap, func_name)
         for param, arg in zip(func.params, args):
             frame.set(param, arg)
+        caller_func = self.current_func
+        self.current_func = func_name
         try:
             yield from self.exec_instrs(func.body, frame)
         except _Return as ret:
             return ret.value
+        finally:
+            self.current_func = caller_func
         return None
 
     def run_ops(self, ops: Sequence[Tuple[str, Sequence[Value]]]):
@@ -434,9 +453,13 @@ class ThreadExec:
         def evaluate(lock):
             return self.eval_lock_term(frame, lock.term)
 
+        faults = self.world.faults
+        inject = faults is not None and faults.arm(self.tid, instr.section_id)
         attempts = 0
         while True:
             plan = plan_requests(instr.locks, evaluate)
+            if inject:
+                plan = faults.apply(plan)
             yield max(1, len(instr.locks))  # descriptor evaluation cost
             yield from acquire_all(self.world.lock_manager, self.tid, plan)
             # Validate-and-retry: fine-grain descriptors were evaluated
@@ -447,6 +470,8 @@ class ThreadExec:
             # an access), so once we hold the right locks the re-evaluation
             # is stable; a mismatch means we lost the race and must retry.
             revalidated = plan_requests(instr.locks, evaluate)
+            if inject:
+                revalidated = faults.apply(revalidated)
             yield max(1, len(instr.locks))
             held = dict(plan)
             if all(
@@ -457,6 +482,10 @@ class ThreadExec:
             yield from release_all(self.world.lock_manager, self.tid)
             attempts += 1
             yield min(1 << min(attempts, 4), 16)
+        if self.world.race is not None:
+            self.world.race.on_acquire(
+                self.tid, [name for name, _ in plan], instr.section_id
+            )
         if self.world.auditor is not None:
             self.instance = self.world.auditor.begin_instance(instr.section_id)
 
@@ -470,6 +499,14 @@ class ThreadExec:
             for obj in self._fresh_objs:
                 obj.fresh_owner = None
             self._fresh_objs.clear()
+            if self.world.race is not None:
+                # publish this thread's clock to every node it is about to
+                # release (the nodes stay held until release_all runs, so
+                # no acquirer can join the published clock too early)
+                self.world.race.on_release(
+                    self.tid,
+                    tuple(self.world.lock_manager.held_names(self.tid)),
+                )
             yield from release_all(self.world.lock_manager, self.tid)
             self.instance = None
         else:

@@ -1,0 +1,253 @@
+"""Dynamic race detection: Eraser locksets + vector-clock happens-before.
+
+The §4.2 :class:`~repro.interp.checker.ProtectionChecker` is the paper's
+own oracle — it validates each access against the *held* locks. This
+module is the independent oracle that does not trust the lock inference at
+all: it watches every shared access of the locks-mode interpreter and
+reports pairs that are concurrent in the happens-before order actually
+induced by the run's lock operations.
+
+Two classic detectors run side by side:
+
+* **Vector clocks** (FastTrack-style): each thread carries a clock;
+  releasing a lock node publishes the releaser's clock to the node,
+  acquiring joins it. A read is racy if the cell's last write is not
+  ordered before it; a write additionally races with every unordered
+  read. Per *schedule* this is precise: no false positives (joins through
+  intention-mode ancestors only add ordering a real lock word's memory
+  barrier also provides).
+* **Eraser locksets**: each cell tracks the intersection of lock-node
+  sets held across its accesses, with the virgin → exclusive → shared →
+  shared-modified state machine suppressing initialization noise. Since
+  every well-formed acquisition includes the root ⊤ node, the
+  intersection only empties when a thread touches the cell holding *no*
+  locks — exactly the fault-injection scenarios
+  (``repro.runtime.faults``) this subsystem uses to prove the checkers
+  are not vacuous.
+
+Every report carries full provenance on both accesses: thread id, dynamic
+section instance, executing function, effect, and the held-lock node set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..locks.effects import RO, RW
+from ..memory import CellKey, Loc
+
+VC = Dict[int, int]
+
+
+@dataclass(frozen=True)
+class Access:
+    """Provenance of one shared access."""
+
+    tid: int
+    eff: str  # RO | RW
+    func: Optional[str]  # function executing the access
+    section: Optional[str]  # enclosing static section id (None if outside)
+    instance: Optional[int]  # dynamic section instance number
+    locks: FrozenSet[object]  # lock-tree node names held at the access
+
+    def describe(self) -> str:
+        where = f"{self.section}#{self.instance}" if self.section else "non-atomic"
+        held = ("{" + ", ".join(sorted(map(repr, self.locks))) + "}"
+                if self.locks else "{}")
+        return (f"tid={self.tid} {self.eff} in {self.func or '?'} "
+                f"[{where}] holding {held}")
+
+
+@dataclass(frozen=True)
+class Race:
+    """Two accesses to the same cell, at least one a write, unordered by
+    the run's happens-before relation."""
+
+    cell: CellKey
+    cell_label: str
+    first: Access
+    second: Access
+
+    def describe(self) -> str:
+        return (f"race on {self.cell_label}: ({self.first.describe()}) vs "
+                f"({self.second.describe()})")
+
+
+@dataclass(frozen=True)
+class LocksetWarning:
+    """A shared-modified cell whose candidate lockset became empty."""
+
+    cell: CellKey
+    cell_label: str
+    access: Access
+
+    def describe(self) -> str:
+        return (f"empty lockset on shared-modified {self.cell_label} at "
+                f"({self.access.describe()})")
+
+
+class _CellState:
+    __slots__ = ("write", "reads", "eraser", "owner", "lockset",
+                 "hb_reported", "ls_reported")
+
+    def __init__(self) -> None:
+        self.write: Optional[Tuple[int, int, Access]] = None  # tid, clock, acc
+        self.reads: Dict[int, Tuple[int, Access]] = {}  # tid -> (clock, acc)
+        self.eraser = "virgin"  # virgin|exclusive|shared|shared-modified
+        self.owner: Optional[int] = None
+        self.lockset: Optional[FrozenSet[object]] = None
+        self.hb_reported = False
+        self.ls_reported = False
+
+
+def _join(into: VC, other: VC) -> None:
+    for tid, clock in other.items():
+        if clock > into.get(tid, 0):
+            into[tid] = clock
+
+
+class RaceDetector:
+    """Observes shared accesses and lock operations; accumulates reports.
+
+    The interpreter calls :meth:`on_read` / :meth:`on_write` for every
+    shared heap or global access in locks mode, and :meth:`on_acquire` /
+    :meth:`on_release` around each outermost acquireAll/releaseAll.
+    ``barrier()`` declares a synchronization point (e.g. end of the
+    single-threaded setup phase) ordering everything before it under
+    everything after.
+    """
+
+    def __init__(self, max_reports: int = 1000) -> None:
+        self.races: List[Race] = []
+        self.lockset_warnings: List[LocksetWarning] = []
+        self.checked = 0  # shared accesses observed
+        self.max_reports = max_reports
+        self._threads: Dict[int, VC] = {}
+        self._locks: Dict[object, VC] = {}
+        self._base: VC = {}
+        self._cells: Dict[CellKey, _CellState] = {}
+        self._section: Dict[int, Tuple[Optional[str], int]] = {}
+        self._instances = 0
+
+    # -- happens-before bookkeeping ---------------------------------------
+
+    def _vc(self, tid: int) -> VC:
+        vc = self._threads.get(tid)
+        if vc is None:
+            vc = dict(self._base)
+            vc[tid] = vc.get(tid, 0) + 1
+            self._threads[tid] = vc
+        return vc
+
+    def barrier(self) -> None:
+        """Order all past events before all future events (fork point)."""
+        base = dict(self._base)
+        for vc in self._threads.values():
+            _join(base, vc)
+        self._base = base
+        for vc in self._threads.values():
+            _join(vc, base)
+
+    def on_acquire(self, tid: int, names: Iterable[object],
+                   section_id: Optional[str] = None) -> int:
+        vc = self._vc(tid)
+        for name in names:
+            lock_vc = self._locks.get(name)
+            if lock_vc:
+                _join(vc, lock_vc)
+        self._instances += 1
+        self._section[tid] = (section_id, self._instances)
+        return self._instances
+
+    def on_release(self, tid: int, names: Iterable[object]) -> None:
+        # Join, never overwrite: shared-mode (S/IS) nodes are released by
+        # several unordered readers, and a later exclusive acquirer must
+        # synchronize with all of them (L := L ⊔ C_t, the classic VC lock
+        # rule) — replacing would let the last reader clobber the rest.
+        vc = self._vc(tid)
+        for name in names:
+            lock_vc = self._locks.get(name)
+            if lock_vc is None:
+                self._locks[name] = dict(vc)
+            else:
+                _join(lock_vc, vc)
+        vc[tid] = vc.get(tid, 0) + 1
+        self._section.pop(tid, None)
+
+    # -- access observation ------------------------------------------------
+
+    def _mk_access(self, tid: int, eff: str, func: Optional[str],
+                   locks: Iterable[object]) -> Access:
+        section = self._section.get(tid)
+        return Access(
+            tid, eff, func,
+            section[0] if section else None,
+            section[1] if section else None,
+            frozenset(locks),
+        )
+
+    def _report(self, state: _CellState, loc: Loc, first: Access,
+                second: Access) -> None:
+        if state.hb_reported or len(self.races) >= self.max_reports:
+            return
+        state.hb_reported = True
+        self.races.append(Race(loc.key, repr(loc), first, second))
+
+    def on_read(self, tid: int, loc: Loc, func: Optional[str],
+                locks: Iterable[object]) -> None:
+        self.checked += 1
+        state = self._cells.get(loc.key)
+        if state is None:
+            state = self._cells[loc.key] = _CellState()
+        vc = self._vc(tid)
+        access = self._mk_access(tid, RO, func, locks)
+        write = state.write
+        if (write is not None and write[0] != tid
+                and write[1] > vc.get(write[0], 0)):
+            self._report(state, loc, write[2], access)
+        state.reads[tid] = (vc.get(tid, 0), access)
+        self._eraser(state, loc, access, write=False)
+
+    def on_write(self, tid: int, loc: Loc, func: Optional[str],
+                 locks: Iterable[object]) -> None:
+        self.checked += 1
+        state = self._cells.get(loc.key)
+        if state is None:
+            state = self._cells[loc.key] = _CellState()
+        vc = self._vc(tid)
+        access = self._mk_access(tid, RW, func, locks)
+        write = state.write
+        if (write is not None and write[0] != tid
+                and write[1] > vc.get(write[0], 0)):
+            self._report(state, loc, write[2], access)
+        for rtid, (rclock, raccess) in state.reads.items():
+            if rtid != tid and rclock > vc.get(rtid, 0):
+                self._report(state, loc, raccess, access)
+        state.write = (tid, vc.get(tid, 0), access)
+        state.reads = {}
+        self._eraser(state, loc, access, write=True)
+
+    # -- Eraser state machine ----------------------------------------------
+
+    def _eraser(self, state: _CellState, loc: Loc, access: Access,
+                write: bool) -> None:
+        if state.eraser == "virgin":
+            state.eraser = "exclusive"
+            state.owner = access.tid
+            return
+        if state.eraser == "exclusive" and state.owner == access.tid:
+            return
+        state.lockset = (access.locks if state.lockset is None
+                         else state.lockset & access.locks)
+        if write or state.eraser == "shared-modified":
+            state.eraser = "shared-modified"
+        else:
+            state.eraser = "shared"
+        if (state.eraser == "shared-modified" and not state.lockset
+                and not state.ls_reported
+                and len(self.lockset_warnings) < self.max_reports):
+            state.ls_reported = True
+            self.lockset_warnings.append(
+                LocksetWarning(loc.key, repr(loc), access)
+            )

@@ -1,6 +1,7 @@
-"""Multi-granularity lock runtime (paper §5)."""
+"""Multi-granularity lock runtime (paper §5) and fault injection."""
 
 from .api import ThreadLockState, acquire_all, plan_requests, release_all
+from .faults import FAULT_KINDS, FaultInjector
 from .manager import LockManager, LockNode, LockStats, ROOT, canonical_order
 from .modes import (
     IS,
@@ -18,6 +19,8 @@ from .modes import (
 )
 
 __all__ = [
+    "FaultInjector",
+    "FAULT_KINDS",
     "LockManager",
     "LockNode",
     "LockStats",

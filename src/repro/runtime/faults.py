@@ -1,0 +1,84 @@
+"""Fault injection: deliberately break acquisitions to test the checkers.
+
+A checker that never fires proves nothing. The explore subsystem's
+negative-testing mode plants a known protection bug at runtime —
+mutation-style testing of the *checkers themselves* — and then asserts
+that the §4.2 :class:`~repro.interp.checker.ProtectionChecker`, the
+dynamic :class:`~repro.interp.race.RaceDetector`, and the
+:class:`~repro.interp.checker.SerializabilityAuditor` each catch it.
+
+Fault kinds (applied to the planned per-node request list of an
+``acquireAll``):
+
+* ``drop-acquire``  — drop the whole plan: the section runs with no locks
+  at all. Caught by all three oracles (the race detector sees zero
+  happens-before edges, so any conflicting pair reports).
+* ``drop-node``     — drop the finest (last-in-canonical-order) node
+  request; intention modes on the ancestors survive. Caught by the
+  protection checker (intention modes grant nothing); the HB detector may
+  stay silent because the surviving root acquisition still orders the
+  sections — exactly the Eraser-vs-happens-before precision gap the docs
+  discuss.
+* ``weaken-acquire`` — downgrade every requested mode (X→S, SIX→S,
+  IX→IS): writes proceed under read cover. Caught by the protection
+  checker on the first write.
+
+The injector is armed once per matching dynamic ``acquireAll`` (retries of
+the same acquisition reuse the armed decision, keeping the
+validate-and-retry loop consistent), and records every firing so tests
+can assert the fault was actually exercised.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .modes import IS, IX, S, SIX, X
+
+FAULT_KINDS = ("drop-acquire", "drop-node", "weaken-acquire")
+
+_WEAKEN = {X: S, SIX: S, IX: IS}
+
+
+class FaultInjector:
+    """Filters acquireAll request plans according to the configured fault.
+
+    *section* restricts firing to one static section id; *tid* to one
+    thread; *occurrence* to the n-th matching dynamic acquire (``None`` =
+    every matching acquire, the strongest seeding).
+    """
+
+    def __init__(self, kind: str, section: Optional[str] = None,
+                 tid: Optional[int] = None,
+                 occurrence: Optional[int] = None) -> None:
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}"
+            )
+        self.kind = kind
+        self.section = section
+        self.tid = tid
+        self.occurrence = occurrence
+        self._seen = 0
+        self.fired: List[Tuple[int, str]] = []  # (tid, section_id) firings
+
+    def arm(self, tid: int, section_id: str) -> bool:
+        """Decide (once per dynamic acquire) whether the fault fires."""
+        if self.section is not None and section_id != self.section:
+            return False
+        if self.tid is not None and tid != self.tid:
+            return False
+        index = self._seen
+        self._seen += 1
+        if self.occurrence is not None and index != self.occurrence:
+            return False
+        self.fired.append((tid, section_id))
+        return True
+
+    def apply(self, plan: List[Tuple[object, str]]) -> List[Tuple[object, str]]:
+        """Transform an ordered (node, mode) request plan."""
+        if self.kind == "drop-acquire":
+            return []
+        if self.kind == "drop-node":
+            return plan[:-1]
+        return [(name, _WEAKEN.get(mode, mode)) for name, mode in plan]

@@ -69,6 +69,8 @@ class LockNode:
 
 ROOT = ("root",)
 
+_NO_NAMES: frozenset = frozenset()
+
 
 @dataclass
 class LockStats:
@@ -125,6 +127,12 @@ class LockManager:
 
     def holds_any(self, tid: int) -> bool:
         return bool(self.held.get(tid))
+
+    def held_names(self, tid: int):
+        """The node names *tid* currently holds (live view — do not mutate,
+        copy before storing)."""
+        names = self._held_names.get(tid)
+        return names if names is not None else _NO_NAMES
 
     def held_nodes(self, tid: int) -> List[LockNode]:
         return list(self.held.get(tid, []))

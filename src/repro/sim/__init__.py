@@ -7,8 +7,48 @@ control discipline* — on a simulated machine: interpreter threads are
 coroutines; each simulated tick advances up to ``ncores`` runnable threads
 by one unit of work; blocked threads (waiting on a lock grant or STM retry
 backoff) consume no core slots. "Execution time" is the makespan in ticks.
+
+Which runnable threads advance is a pluggable
+:class:`~repro.sim.policy.SchedulingPolicy`: the default round-robin
+reproduces the historical fair schedule; seeded random, PCT-priority, and
+scripted policies drive the schedule-exploration subsystem
+(``repro.explore``).
 """
 
-from .scheduler import DeadlockError, Scheduler, SimStats, SimThread, WORK, TRY
+from .policy import (
+    PCTPolicy,
+    POLICY_NAMES,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    ScriptedPolicy,
+    make_policy,
+)
+from .scheduler import (
+    DeadlockError,
+    LivelockError,
+    Scheduler,
+    SimStats,
+    SimThread,
+    WORK,
+    TRY,
+    run_threads,
+)
 
-__all__ = ["Scheduler", "SimThread", "SimStats", "DeadlockError", "WORK", "TRY"]
+__all__ = [
+    "Scheduler",
+    "SimThread",
+    "SimStats",
+    "DeadlockError",
+    "LivelockError",
+    "WORK",
+    "TRY",
+    "run_threads",
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "RandomPolicy",
+    "PCTPolicy",
+    "ScriptedPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+]

@@ -1,0 +1,178 @@
+"""Pluggable scheduling policies for the discrete-event simulator.
+
+The paper's guarantees (Theorem 1 soundness, deadlock freedom, weak
+atomicity) are quantified over *all* interleavings, but a single
+deterministic round-robin run exercises exactly one. A
+:class:`SchedulingPolicy` decides, each tick, which of the runnable
+threads advance — so the same simulator can replay the original
+round-robin schedule, sample seeded random schedules, run PCT-style
+priority schedules (Burckhardt et al., "A Randomized Scheduler with
+Probabilistic Guarantees of Finding Bugs"), or follow a scripted prefix
+for exhaustive bounded enumeration (see ``repro.explore.exhaustive``).
+
+Contract: ``choose(runnable, ncores, tick)`` returns a non-empty subset of
+*runnable* (at most *ncores* threads) to advance this tick. The runnable
+list is in thread-spawn order, so every policy is deterministic given its
+seed — schedules are reproducible and shareable as ``(policy, seed)``
+pairs. Call ``enable_trace()`` to record the chosen tid tuple per tick;
+the trace identifies the interleaving class of a run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+
+class SchedulingPolicy:
+    """Base class: picks which runnable threads advance each tick."""
+
+    name = "policy"
+
+    def __init__(self) -> None:
+        self.trace: Optional[List[Tuple[int, ...]]] = None
+
+    def enable_trace(self) -> None:
+        """Record the tuple of chosen tids for every tick."""
+        self.trace = []
+
+    def _record(self, chosen: Sequence) -> None:
+        if self.trace is not None:
+            self.trace.append(tuple(t.tid for t in chosen))
+
+    def choose(self, runnable: List, ncores: int, tick: int) -> List:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """The original fair schedule: rotate the start index, take ``ncores``.
+
+    Byte-for-byte the scheduler's historical behavior, so benchmark tick
+    counts are unchanged when no policy is given.
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._rotate = 0
+
+    def choose(self, runnable: List, ncores: int, tick: int) -> List:
+        start = self._rotate % len(runnable)
+        chosen = (runnable[start:] + runnable[:start])[:ncores]
+        self._rotate += 1
+        self._record(chosen)
+        return chosen
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Seeded uniform schedule sampler.
+
+    Each tick draws a random subset (in random order) of up to ``ncores``
+    runnable threads. Two runs with the same seed produce the same
+    schedule; distinct seeds explore distinct interleavings.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self.seed = seed
+        self._rng = random.Random(("sched-random", seed).__repr__())
+
+    def choose(self, runnable: List, ncores: int, tick: int) -> List:
+        chosen = self._rng.sample(runnable, min(ncores, len(runnable)))
+        self._record(chosen)
+        return chosen
+
+
+class PCTPolicy(SchedulingPolicy):
+    """PCT-style priority scheduler with configurable depth.
+
+    Each thread gets a random initial priority; the single
+    highest-priority runnable thread runs each tick (the schedule is
+    serialized, maximizing ordering adversity). At ``depth - 1`` random
+    *priority change points* the running thread's priority drops below
+    every other, forcing a preemption there — for a bug of depth *d*, a
+    random change-point placement finds it with probability ≥
+    1/(n·k^(d-1)) per run (the PCT guarantee, over ``expected_steps`` k).
+    """
+
+    name = "pct"
+
+    def __init__(self, seed: int = 0, depth: int = 3,
+                 expected_steps: int = 10_000) -> None:
+        super().__init__()
+        self.seed = seed
+        self.depth = max(1, depth)
+        self.expected_steps = max(expected_steps, self.depth)
+        self._rng = random.Random(("sched-pct", seed, self.depth).__repr__())
+        self.change_points = frozenset(
+            self._rng.sample(range(1, self.expected_steps + 1), self.depth - 1)
+        )
+        self._priority = {}
+        self._low = 0.0  # priorities after a change point: below all initials
+        self._step = 0
+
+    def _prio(self, thread) -> float:
+        p = self._priority.get(thread.tid)
+        if p is None:
+            p = 1.0 + self._rng.random()  # initial priorities live in (1, 2)
+            self._priority[thread.tid] = p
+        return p
+
+    def choose(self, runnable: List, ncores: int, tick: int) -> List:
+        self._step += 1
+        for thread in runnable:
+            self._prio(thread)
+        best = max(runnable, key=lambda t: self._priority[t.tid])
+        if self._step in self.change_points:
+            self._low -= 1.0
+            self._priority[best.tid] = self._low
+            best = max(runnable, key=lambda t: self._priority[t.tid])
+        chosen = [best]
+        self._record(chosen)
+        return chosen
+
+
+class ScriptedPolicy(SchedulingPolicy):
+    """Follow a scripted choice prefix, then always pick index 0.
+
+    Runs one thread per tick and records ``choices`` as
+    ``(chosen_index, n_runnable)`` pairs — the branching structure the
+    exhaustive explorer backtracks over (see
+    ``repro.explore.exhaustive.exhaustive_explore``).
+    """
+
+    name = "scripted"
+
+    def __init__(self, script: Sequence[int] = ()) -> None:
+        super().__init__()
+        self.script = list(script)
+        self.choices: List[Tuple[int, int]] = []
+
+    def choose(self, runnable: List, ncores: int, tick: int) -> List:
+        step = len(self.choices)
+        index = self.script[step] if step < len(self.script) else 0
+        if index >= len(runnable):  # defensive: replay divergence
+            index = len(runnable) - 1
+        self.choices.append((index, len(runnable)))
+        chosen = [runnable[index]]
+        self._record(chosen)
+        return chosen
+
+
+POLICY_NAMES = ("rr", "round-robin", "random", "pct")
+
+
+def make_policy(name: str, seed: int = 0, depth: int = 3,
+                expected_steps: int = 10_000) -> SchedulingPolicy:
+    """Policy factory used by the explore runner and the CLI."""
+    if name in ("rr", "round-robin"):
+        return RoundRobinPolicy()
+    if name == "random":
+        return RandomPolicy(seed)
+    if name == "pct":
+        return PCTPolicy(seed, depth=depth, expected_steps=expected_steps)
+    raise ValueError(f"unknown scheduling policy {name!r}; "
+                     f"choose from {POLICY_NAMES}")

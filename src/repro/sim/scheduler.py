@@ -16,7 +16,17 @@ which lets lock-manager grant order stay deterministic.
 
 A tick where no thread is runnable and none can unblock is a deadlock; the
 scheduler raises :class:`DeadlockError` (the transformed programs must never
-trigger this — that is the paper's deadlock-freedom guarantee).
+trigger this — that is the paper's deadlock-freedom guarantee). Distinct
+from deadlock, a *livelock* is a bounded no-progress window: some thread
+stays blocked for ``livelock_window`` consecutive ticks during which no
+blocked thread is granted and no thread completes — runnable threads are
+spinning without unblocking anyone. That raises :class:`LivelockError`
+carrying the blocked-thread set, long before the ``max_ticks`` backstop.
+
+Which runnable threads advance each tick is delegated to a
+:class:`~repro.sim.policy.SchedulingPolicy`; the default
+:class:`~repro.sim.policy.RoundRobinPolicy` reproduces the historical
+rotating round-robin schedule exactly.
 """
 
 from __future__ import annotations
@@ -24,12 +34,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, List, Optional, Tuple
 
+from .policy import RoundRobinPolicy, SchedulingPolicy
+
 WORK = "work"
 TRY = "try"
 
 
 class DeadlockError(RuntimeError):
     """All unfinished threads are blocked and none can make progress."""
+
+
+class LivelockError(RuntimeError):
+    """Some threads stayed blocked for a full no-progress window while the
+    rest spun: nobody was granted, nobody finished."""
+
+    def __init__(self, message: str, blocked_tids=()) -> None:
+        super().__init__(message)
+        self.blocked_tids = frozenset(blocked_tids)
 
 
 @dataclass
@@ -80,12 +101,17 @@ class SimThread:
 
 
 class Scheduler:
-    def __init__(self, ncores: int = 8, max_ticks: int = 100_000_000) -> None:
+    def __init__(self, ncores: int = 8, max_ticks: int = 100_000_000,
+                 policy: Optional[SchedulingPolicy] = None,
+                 livelock_window: Optional[int] = 50_000) -> None:
         self.ncores = ncores
         self.max_ticks = max_ticks
+        self.policy = policy if policy is not None else RoundRobinPolicy()
+        self.livelock_window = livelock_window
         self.threads: List[SimThread] = []
         self.stats = SimStats(ncores=ncores)
         self._block_counter = 0
+        self._stall = 0  # consecutive no-progress ticks with blocked threads
 
     def spawn(self, gen: Generator) -> SimThread:
         thread = SimThread(len(self.threads), gen)
@@ -133,7 +159,6 @@ class Scheduler:
     # -- main loop -------------------------------------------------------------
 
     def run(self) -> SimStats:
-        rotate = 0
         while True:
             unfinished = [t for t in self.threads if t.state != "done"]
             if not unfinished:
@@ -147,12 +172,14 @@ class Scheduler:
                 (t for t in unfinished if t.state == "blocked"),
                 key=lambda t: t.block_order,
             )
+            woke = False
             for thread in blocked:
                 if thread.try_fn is not None and thread.try_fn():
                     thread.state = "runnable"
                     thread.try_fn = None
                     thread.fetch()
-            # 2. advance up to ncores runnable threads
+                    woke = True
+            # 2. advance the policy's pick of the runnable threads
             runnable = [t for t in unfinished if t.state == "runnable"]
             if not runnable:
                 if blocked:
@@ -161,23 +188,43 @@ class Scheduler:
                         + ", ".join(repr(t) for t in blocked)
                     )
                 return self.stats
-            start = rotate % len(runnable)
-            chosen = (runnable[start:] + runnable[:start])[: self.ncores]
-            rotate += 1
+            chosen = self.policy.choose(runnable, self.ncores, self.stats.ticks)
+            if not chosen:
+                chosen = runnable[:1]
             self.stats.ticks += 1
+            finished = False
             for thread in chosen:
                 self._advance(thread)
+                if thread.state == "done":
+                    finished = True
                 self.stats.work_done += 1
                 self.stats.per_thread_work[thread.tid] += 1
-            for thread in unfinished:
-                if thread.state == "blocked":
-                    self.stats.blocked_ticks += 1
-                    self.stats.per_thread_blocked[thread.tid] += 1
+            still_blocked = [t for t in unfinished if t.state == "blocked"]
+            for thread in still_blocked:
+                self.stats.blocked_ticks += 1
+                self.stats.per_thread_blocked[thread.tid] += 1
+            # 3. livelock window: blocked threads exist but nobody was
+            # granted and nobody finished — count the stall; a wake, a
+            # completion, or an all-runnable tick resets it
+            if still_blocked and not (woke or finished):
+                self._stall += 1
+                if (self.livelock_window is not None
+                        and self._stall >= self.livelock_window):
+                    raise LivelockError(
+                        f"no progress for {self._stall} ticks; blocked: "
+                        + ", ".join(repr(t) for t in still_blocked),
+                        blocked_tids=[t.tid for t in still_blocked],
+                    )
+            else:
+                self._stall = 0
 
 
-def run_threads(generators: List[Generator], ncores: int = 8) -> SimStats:
+def run_threads(generators: List[Generator], ncores: int = 8,
+                policy: Optional[SchedulingPolicy] = None,
+                livelock_window: Optional[int] = 50_000) -> SimStats:
     """Convenience: run *generators* to completion; return the statistics."""
-    scheduler = Scheduler(ncores=ncores)
+    scheduler = Scheduler(ncores=ncores, policy=policy,
+                          livelock_window=livelock_window)
     for gen in generators:
         scheduler.spawn(gen)
     return scheduler.run()

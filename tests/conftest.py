@@ -1,0 +1,30 @@
+"""Shared pytest configuration: the ``--runslow`` gate.
+
+The schedule-exploration stress sweeps (≥50 seeded schedules per corpus
+program × configuration) take minutes; CI runs the fast smoke subset by
+default and the full sweep is opt-in via ``pytest --runslow``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="run the full schedule-exploration stress sweeps",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: full exploration sweep (skipped without --runslow)"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

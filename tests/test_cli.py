@@ -77,3 +77,56 @@ def test_list_benchmarks(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_explore_clean_program(capsys):
+    code = main([
+        "explore", "counter", "--policy", "pct", "--seed", "0",
+        "--schedules", "5", "--threads", "3", "--ops", "3",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "schedules explored: 5" in out
+    assert "violations: 0" in out
+
+
+def test_explore_fault_canary_detected(capsys):
+    code = main([
+        "explore", "counter", "--schedules", "5", "--threads", "3",
+        "--ops", "3", "--inject-fault", "drop-acquire",
+    ])
+    assert code == 0  # detected = canary passes
+    assert "protection:" in capsys.readouterr().out
+
+
+def test_explore_fault_canary_fails_when_oracles_off(capsys):
+    code = main([
+        "explore", "counter", "--schedules", "2", "--threads", "2",
+        "--ops", "2", "--inject-fault", "drop-node",
+        "--no-check", "--no-detector", "--no-audit",
+    ])
+    assert code == 1  # nothing could flag the seeded bug
+
+
+def test_explore_differential_mode(capsys):
+    code = main([
+        "explore", "counter", "--diff", "--schedules", "2",
+        "--threads", "2", "--ops", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "differential: counter" in out
+    assert "stm" in out
+
+
+def test_explore_exhaustive_policy(capsys):
+    code = main([
+        "explore", "counter", "--policy", "exhaustive", "--schedules", "10",
+        "--threads", "2", "--ops", "1",
+    ])
+    assert code == 0
+    assert "schedules explored: 10" in capsys.readouterr().out
+
+
+def test_explore_unknown_program(capsys):
+    assert main(["explore", "nope"]) == 2

@@ -1,0 +1,68 @@
+"""Exhaustive bounded-interleaving enumeration vs the closed form."""
+
+import math
+
+import pytest
+
+from repro.explore import exhaustive_explore, explore_program, interleaving_count
+from repro.sim import Scheduler
+
+
+def worker(n):
+    for _ in range(n):
+        yield 1
+
+
+def enumerate_workers(counts, limit=100_000):
+    def run(policy):
+        policy.enable_trace()
+        scheduler = Scheduler(ncores=1, policy=policy)
+        for count in counts:
+            scheduler.spawn(worker(count))
+        scheduler.run()
+        return tuple(step[0] for step in policy.trace)
+
+    return exhaustive_explore(run, limit=limit)
+
+
+def test_interleaving_count_closed_form():
+    assert interleaving_count([3, 3]) == math.comb(6, 3)
+    assert interleaving_count([2, 2]) == 6
+    assert interleaving_count([1, 1, 1]) == 6
+    assert interleaving_count([2, 1, 1]) == 12
+    assert interleaving_count([5]) == 1
+    assert interleaving_count([]) == 1
+
+
+@pytest.mark.parametrize("counts", [(2, 2), (3, 3), (1, 4), (2, 1, 1)])
+def test_explorer_matches_closed_form(counts):
+    outcomes, complete = enumerate_workers(counts)
+    assert complete
+    assert len(outcomes) == interleaving_count(counts)
+
+
+def test_two_thread_six_event_acceptance_case():
+    # the acceptance micro-program: 2 threads x 3 events = C(6,3) = 20
+    outcomes, complete = enumerate_workers((3, 3))
+    assert complete and len(outcomes) == 20
+
+
+def test_every_enumerated_schedule_is_distinct():
+    outcomes, complete = enumerate_workers((3, 3))
+    traces = {outcome.result for outcome in outcomes}
+    assert len(traces) == len(outcomes)  # no schedule visited twice
+
+
+def test_limit_truncates_enumeration():
+    outcomes, complete = enumerate_workers((3, 3), limit=7)
+    assert not complete
+    assert len(outcomes) == 7
+
+
+def test_exhaustive_policy_through_explore_program():
+    report = explore_program("counter", policy="exhaustive", schedules=25,
+                             threads=2, ops=1)
+    assert report.schedules_explored == 25
+    assert not report.complete  # counter has far more than 25 interleavings
+    assert report.detections == 0
+    assert report.distinct_classes == 25

@@ -1,0 +1,130 @@
+"""Negative testing: seeded locking bugs must be caught (checker vacuity).
+
+Each fault kind weakens the transformed program's locking at runtime;
+the §4.2 ProtectionChecker, the happens-before race detector, and the
+SerializabilityAuditor must each flag the resulting executions. All
+cases are parametrized over the inference k-limit (0 = coarsest classes,
+9 = the paper's finest) — detection must not depend on lock granularity.
+"""
+
+import pytest
+
+from repro.explore import explore_program
+from repro.explore.runner import resolve_target, run_schedule
+from repro.runtime.faults import FAULT_KINDS, FaultInjector
+from repro.sim import make_policy
+
+K_VALUES = (0, 1, 9)
+
+
+# -- FaultInjector unit behavior ---------------------------------------------
+
+
+def test_fault_kinds_registered():
+    assert set(FAULT_KINDS) == {"drop-acquire", "drop-node",
+                                "weaken-acquire"}
+
+
+def test_unknown_fault_kind_rejected():
+    with pytest.raises(ValueError):
+        FaultInjector("drop-everything")
+
+
+def test_injector_arms_once_per_occurrence():
+    injector = FaultInjector("drop-acquire", occurrence=1)
+    assert not injector.arm(0, "s#1")  # index 0
+    assert injector.arm(0, "s#1")      # index 1: fires
+    assert not injector.arm(0, "s#1")  # later occurrences untouched
+    assert len(injector.fired) == 1
+
+
+def test_injector_filters_by_section_and_tid():
+    injector = FaultInjector("drop-acquire", section="f#1", tid=2)
+    assert not injector.arm(1, "f#1")
+    assert not injector.arm(2, "g#1")
+    assert injector.arm(2, "f#1")
+
+
+def test_drop_acquire_empties_plan():
+    injector = FaultInjector("drop-acquire")
+    assert injector.apply([("a", "X"), ("b", "S")]) == []
+
+
+def test_drop_node_removes_last():
+    injector = FaultInjector("drop-node")
+    assert injector.apply([("a", "X"), ("b", "S")]) == [("a", "X")]
+
+
+def test_weaken_acquire_downgrades_modes():
+    from repro.runtime.modes import IS, IX, S, SIX, X
+
+    injector = FaultInjector("weaken-acquire")
+    plan = injector.apply([("a", X), ("b", SIX), ("c", IX), ("d", S)])
+    assert [mode for _, mode in plan] == [S, S, IS, S]
+
+
+# -- ProtectionChecker catches every fault kind, at every k ------------------
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+def test_protection_checker_catches_fault(kind, k):
+    report = explore_program(
+        "counter", policy="random", seed=0, schedules=5, threads=3, ops=3,
+        fault=kind, detector=False, k=k,
+    )
+    assert report.detections > 0, f"{kind} undetected at k={k}"
+    assert all("protection:" in v
+               for r in report.records for v in r.violations)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_clean_run_has_no_detections(k):
+    report = explore_program(
+        "counter", policy="random", seed=0, schedules=5, threads=3, ops=3,
+        k=k,
+    )
+    assert report.detections == 0
+
+
+# -- race detector catches drop-acquire with the checker off -----------------
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_race_detector_catches_drop_acquire(k):
+    report = explore_program(
+        "counter", policy="random", seed=0, schedules=5, threads=3, ops=3,
+        fault="drop-acquire", check=False, k=k,
+    )
+    assert report.races_total > 0, f"race undetected at k={k}"
+
+
+# -- serializability auditor catches the lost update -------------------------
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_auditor_catches_nonserializable_schedule(k):
+    target = resolve_target("counter")
+    caught = 0
+    for seed in range(10):
+        record, _ = run_schedule(
+            target, "fine+coarse", make_policy("random", seed=seed),
+            threads=3, ops=3, check=False, detector=False,
+            fault="drop-acquire", k=k, seed=seed,
+        )
+        if any("non-serializable" in v for v in record.violations):
+            caught += 1
+    assert caught > 0, f"auditor caught nothing at k={k}"
+
+
+# -- the CLI-level canary -----------------------------------------------------
+
+
+def test_explore_canary_flags_undetected_bug():
+    # with the checker AND detector off, nothing can flag the bug: the
+    # report shows zero detections — the vacuity canary the CLI exits on
+    report = explore_program(
+        "counter", policy="random", seed=0, schedules=3, threads=3, ops=3,
+        fault="weaken-acquire", check=False, detector=False, audit=False,
+    )
+    assert report.detections == 0

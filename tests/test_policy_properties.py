@@ -1,0 +1,81 @@
+"""Hypothesis properties of the scheduling policies.
+
+Two invariants from the policy contract:
+
+* **validity** — whatever a policy chooses, the resulting execution is a
+  real interleaving: every thread's events run in program order and all
+  events run exactly once (completeness);
+* **reproducibility** — a schedule is identified by ``(policy, seed)``:
+  replaying the same pair on the same workload yields the identical
+  chosen-tid trace.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    PCTPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    Scheduler,
+)
+
+policies = st.one_of(
+    st.builds(RoundRobinPolicy),
+    st.builds(RandomPolicy, st.integers(0, 1000)),
+    st.builds(PCTPolicy, st.integers(0, 1000), st.integers(1, 4)),
+)
+
+
+def logger(tid, events, log):
+    for i in range(events):
+        log.append((tid, i))
+        yield 1
+
+
+def execute(policy, nthreads, events, ncores):
+    policy.enable_trace()
+    log = []
+    scheduler = Scheduler(ncores=ncores, policy=policy)
+    for tid in range(nthreads):
+        scheduler.spawn(logger(tid, events, log))
+    scheduler.run()
+    return log, list(policy.trace)
+
+
+@settings(max_examples=60, deadline=None)
+@given(policy=policies, nthreads=st.integers(1, 4),
+       events=st.integers(1, 6), ncores=st.integers(1, 4))
+def test_any_policy_schedule_is_a_valid_interleaving(
+        policy, nthreads, events, ncores):
+    log, trace = execute(policy, nthreads, events, ncores)
+    # completeness: every event of every thread ran exactly once
+    assert sorted(log) == [(t, i) for t in range(nthreads)
+                           for i in range(events)]
+    # program order: each thread's events appear in sequence
+    for tid in range(nthreads):
+        mine = [i for t, i in log if t == tid]
+        assert mine == list(range(events))
+    # the trace only ever names real, distinct threads, ≤ ncores per tick
+    for step in trace:
+        assert 1 <= len(step) <= ncores
+        assert len(set(step)) == len(step)
+        assert all(0 <= t < nthreads for t in step)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), nthreads=st.integers(2, 4),
+       events=st.integers(1, 5), ncores=st.integers(1, 3))
+def test_random_policy_reproducible_from_seed(seed, nthreads, events, ncores):
+    _, first = execute(RandomPolicy(seed), nthreads, events, ncores)
+    _, second = execute(RandomPolicy(seed), nthreads, events, ncores)
+    assert first == second
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), depth=st.integers(1, 4),
+       nthreads=st.integers(2, 4), events=st.integers(1, 5))
+def test_pct_policy_reproducible_from_seed(seed, depth, nthreads, events):
+    _, first = execute(PCTPolicy(seed, depth), nthreads, events, 2)
+    _, second = execute(PCTPolicy(seed, depth), nthreads, events, 2)
+    assert first == second

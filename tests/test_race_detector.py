@@ -1,0 +1,167 @@
+"""Dynamic race detector: vector-clock HB + Eraser locksets."""
+
+from repro.interp.race import RaceDetector
+from repro.memory import Loc, Obj
+
+
+def cell(name="x", oid=1):
+    obj = Obj(oid, None, "global", label="globals")
+    obj.cells[name] = 0
+    return Loc(obj, name)
+
+
+# -- happens-before core ------------------------------------------------------
+
+
+def test_unordered_write_write_races():
+    det = RaceDetector()
+    loc = cell()
+    det.on_write(0, loc, "f", ())
+    det.on_write(1, loc, "g", ())
+    assert len(det.races) == 1
+    race = det.races[0]
+    assert {race.first.tid, race.second.tid} == {0, 1}
+
+
+def test_unordered_read_write_races():
+    det = RaceDetector()
+    loc = cell()
+    det.on_read(0, loc, "f", ())
+    det.on_write(1, loc, "g", ())
+    assert len(det.races) == 1
+
+
+def test_lock_ordered_accesses_do_not_race():
+    det = RaceDetector()
+    loc = cell()
+    det.on_acquire(0, ["L"], "s#1")
+    det.on_write(0, loc, "f", ["L"])
+    det.on_release(0, ["L"])
+    det.on_acquire(1, ["L"], "s#1")
+    det.on_write(1, loc, "g", ["L"])
+    det.on_release(1, ["L"])
+    assert det.races == []
+
+
+def test_concurrent_shared_readers_all_ordered_before_writer():
+    # regression: two S-mode readers release the same node unordered;
+    # the node's clock must JOIN both publications, not keep only the
+    # last one, or the next writer races with the clobbered reader
+    det = RaceDetector()
+    loc = cell()
+    det.on_acquire(0, ["L"], "w#1")
+    det.on_write(0, loc, "init", ["L"])
+    det.on_release(0, ["L"])
+    # both readers acquire (S mode: concurrently), then release
+    det.on_acquire(1, ["L"], "r#1")
+    det.on_acquire(2, ["L"], "r#1")
+    det.on_read(1, loc, "get", ["L"])
+    det.on_read(2, loc, "get", ["L"])
+    det.on_release(1, ["L"])
+    det.on_release(2, ["L"])
+    det.on_acquire(0, ["L"], "w#1")
+    det.on_write(0, loc, "put", ["L"])
+    det.on_release(0, ["L"])
+    assert det.races == []
+
+
+def test_barrier_orders_setup_before_workers():
+    det = RaceDetector()
+    loc = cell()
+    det.on_write(99, loc, "setup", ())  # single-threaded init, no locks
+    det.barrier()
+    det.on_read(0, loc, "f", ())
+    det.on_read(1, loc, "g", ())
+    assert det.races == []
+
+
+def test_one_report_per_cell():
+    det = RaceDetector()
+    loc = cell()
+    det.on_write(0, loc, "f", ())
+    det.on_write(1, loc, "g", ())
+    det.on_write(2, loc, "h", ())
+    assert len(det.races) == 1  # deduplicated per cell
+
+
+def test_distinct_cells_report_separately():
+    det = RaceDetector()
+    a, b = cell("x", 1), cell("y", 2)
+    det.on_write(0, a, "f", ())
+    det.on_write(1, a, "g", ())
+    det.on_write(0, b, "f", ())
+    det.on_write(1, b, "g", ())
+    assert len(det.races) == 2
+
+
+# -- provenance ---------------------------------------------------------------
+
+
+def test_access_provenance_recorded():
+    det = RaceDetector()
+    loc = cell()
+    det.on_acquire(0, [("root",)], "incr#1")
+    det.on_write(0, loc, "incr", [("root",)])
+    det.on_release(0, [("root",)])
+    det.on_write(1, loc, "decr", ())
+    (race,) = det.races
+    first, second = race.first, race.second
+    assert first.tid == 0 and first.func == "incr"
+    assert first.section == "incr#1" and first.instance == 1
+    assert first.locks == frozenset([("root",)])
+    assert second.tid == 1 and second.section is None
+    assert "incr#1" in race.describe() and "decr" in race.describe()
+
+
+# -- Eraser locksets ----------------------------------------------------------
+
+
+def test_eraser_warns_on_empty_lockset_shared_modified():
+    det = RaceDetector()
+    loc = cell()
+    det.on_write(0, loc, "f", ["A"])  # exclusive phase (owner 0)
+    det.on_write(1, loc, "g", ["B"])  # lockset starts tracking: {B}
+    det.on_write(0, loc, "f", ["A"])  # {B} & {A} = {} -> warn
+    assert len(det.lockset_warnings) == 1
+    assert det.lockset_warnings[0].cell == loc.key
+
+
+def test_eraser_quiet_with_common_lock():
+    det = RaceDetector()
+    loc = cell()
+    det.on_acquire(0, ["A"], "s#1")
+    det.on_write(0, loc, "f", ["A", "B"])
+    det.on_release(0, ["A"])
+    det.on_acquire(1, ["A"], "s#1")
+    det.on_write(1, loc, "g", ["A"])
+    det.on_release(1, ["A"])
+    assert det.lockset_warnings == []
+
+
+def test_eraser_exclusive_phase_suppresses_init_noise():
+    det = RaceDetector()
+    loc = cell()
+    det.on_write(0, loc, "init", ())  # owner thread, lockset not tracked yet
+    det.on_write(0, loc, "init", ())
+    assert det.lockset_warnings == []
+
+
+# -- integration with the interpreter ----------------------------------------
+
+
+def test_clean_counter_run_reports_nothing():
+    from repro.explore import explore_program
+
+    report = explore_program("counter", policy="random", seed=0,
+                             schedules=3, threads=3, ops=3)
+    assert report.detections == 0
+    assert report.races_total == 0
+
+
+def test_dropped_acquire_is_caught_by_detector_alone():
+    from repro.explore import explore_program
+
+    report = explore_program("counter", policy="random", seed=0,
+                             schedules=5, threads=3, ops=3,
+                             fault="drop-acquire", check=False)
+    assert report.races_total > 0
