@@ -12,16 +12,16 @@ choices DESIGN.md calls out:
   micro program (TH).
 """
 
-import pytest
+import os
 
-from conftest import emit_report
-from repro.bench import ALL_BENCHMARKS
+from conftest import RESULTS_DIR, emit_report
+from repro.bench import ALL_BENCHMARKS, ExecutorOptions, ablation_k_cells, run_cells
 from repro.bench.harness import run_seq
 from repro.inference import LockInference, shared_analysis, transform_with_inference
 from repro.interp import ThreadExec, World
 from repro.sim import Scheduler
 
-_klines = []
+K_SWEEP = (0, 1, 3, 6, 9)
 
 
 def _run_with_inference(spec, inference, setting, threads=8, n_ops=60):
@@ -34,28 +34,35 @@ def _run_with_inference(spec, inference, setting, threads=8, n_ops=60):
     return scheduler.run().ticks
 
 
-@pytest.mark.parametrize("k", [0, 1, 3, 6, 9])
-def test_ablation_k_sweep_hashtable2(benchmark, k):
+def test_ablation_k_sweep_hashtable2(benchmark):
+    """The k-limit runtime sweep as one executor grid: the cell's ``k``
+    field overrides the configuration's default, so the sweep rides the
+    same cache/retry/event machinery as the paper tables."""
     benchmark.group = "ablation-k"
     spec = ALL_BENCHMARKS["hashtable-2"]
-    inference = LockInference(spec.shared(), k=k).run()
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cells = ablation_k_cells(K_SWEEP, bench="hashtable-2", setting="high")
 
     def run():
-        return _run_with_inference(spec, inference, "high")
+        return run_cells(cells, ExecutorOptions(
+            jobs=jobs,
+            events_path=os.path.join(RESULTS_DIR, "ablation_k_events.jsonl"),
+        ))
 
-    ticks = benchmark.pedantic(run, rounds=1, iterations=1)
-    counts = inference.lock_counts()
-    benchmark.extra_info["ticks"] = ticks
-    benchmark.extra_info["fine"] = counts.fine_ro + counts.fine_rw
-    _klines.append((k, ticks, counts.fine_ro + counts.fine_rw,
-                    counts.coarse_ro + counts.coarse_rw))
-    if len(_klines) == 5:
-        _klines.sort()
-        text = "\n".join(
-            f"k={k}: ticks={t}  fine locks={f}  coarse locks={c}"
-            for k, t, f, c in _klines
-        )
-        emit_report("ablation_k", "Ablation: k sweep on hashtable-2-high", text)
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for cell, outcome in zip(cells, outcomes):
+        assert outcome.ok, f"k={cell.k} failed: {outcome.error}"
+        counts = LockInference(spec.shared(), k=cell.k).run().lock_counts()
+        benchmark.extra_info[f"k{cell.k}"] = outcome.ticks
+        lines.append((cell.k, outcome.ticks,
+                      counts.fine_ro + counts.fine_rw,
+                      counts.coarse_ro + counts.coarse_rw))
+    text = "\n".join(
+        f"k={k}: ticks={t}  fine locks={f}  coarse locks={c}"
+        for k, t, f, c in sorted(lines)
+    )
+    emit_report("ablation_k", "Ablation: k sweep on hashtable-2-high", text)
 
 
 def test_ablation_effects_rbtree_low(benchmark):

@@ -1,0 +1,177 @@
+"""Executor benchmark: parallel speedup, tick equality, resume semantics.
+
+Runs a Table-2-shaped sweep (micro benchmarks × all four configurations)
+through :func:`repro.bench.executor.run_cells` twice — serial (``jobs=1``,
+in-process) and parallel (``jobs=4`` worker processes) — and writes
+``BENCH_executor.json`` at the repo root with:
+
+* the wall clock of both paths and the speedup (the simulation is
+  deterministic, so the parallel path must be tick-for-tick identical to
+  the serial one — asserted, not assumed);
+* a resume check: the sweep is "killed" mid-flight by priming a fresh
+  cache with only a prefix of the grid, then re-run with ``resume=True``
+  — the JSONL event log must show exactly the primed cells as cache-hits
+  and only the unfinished cells re-executing.
+
+Run standalone (``python benchmarks/bench_executor.py [--quick]``,
+``--quick`` = small-grid CI smoke) or under pytest.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import emit_report  # noqa: E402
+from repro.bench import (  # noqa: E402
+    ExecutorOptions,
+    MICRO_BENCHMARKS,
+    run_cells,
+    table2_cells,
+)
+
+JOBS = 4
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_executor.json")
+
+
+def grid(quick=False):
+    if quick:
+        benches = {"hashtable-2": MICRO_BENCHMARKS["hashtable-2"]}
+        return table2_cells(benches, threads=4, n_ops=20,
+                            configs=("global", "fine+coarse"))
+    benches = {
+        name: MICRO_BENCHMARKS[name]
+        for name in ("hashtable-2", "rbtree", "TH", "hashtable")
+    }
+    return table2_cells(benches, threads=8, n_ops=60)
+
+
+def _count_events(path, kind):
+    with open(path) as handle:
+        return sum(1 for line in handle
+                   if json.loads(line)["event"] == kind)
+
+
+def measure(quick=False):
+    cells = grid(quick)
+    with tempfile.TemporaryDirectory() as tmp:
+        started = time.perf_counter()
+        serial = run_cells(cells, ExecutorOptions(
+            jobs=1, cache_dir=os.path.join(tmp, "serial")))
+        serial_wall = time.perf_counter() - started
+
+        started = time.perf_counter()
+        parallel = run_cells(cells, ExecutorOptions(
+            jobs=JOBS, cache_dir=os.path.join(tmp, "parallel")))
+        parallel_wall = time.perf_counter() - started
+
+        assert all(r.ok for r in serial), [r.error for r in serial if not r.ok]
+        assert all(r.ok for r in parallel), [
+            r.error for r in parallel if not r.ok]
+        identical = all(
+            a.result.to_dict() == b.result.to_dict()
+            for a, b in zip(serial, parallel)
+        )
+
+        # resume: prime a fresh cache with a prefix (the "killed" sweep),
+        # then resume the full grid and read the event log back
+        primed = cells[: len(cells) // 2]
+        resume_cache = os.path.join(tmp, "resume")
+        run_cells(primed, ExecutorOptions(jobs=1, cache_dir=resume_cache))
+        events_path = os.path.join(tmp, "resume-events.jsonl")
+        resumed = run_cells(cells, ExecutorOptions(
+            jobs=1, resume=True, cache_dir=resume_cache,
+            events_path=events_path))
+        cache_hits = _count_events(events_path, "cache-hit")
+        reexecuted = _count_events(events_path, "cell-start")
+        resume_ok = (
+            cache_hits == len(primed)
+            and reexecuted == len(cells) - len(primed)
+            and all(r.ok for r in resumed)
+            and all(a.ticks == b.ticks for a, b in zip(serial, resumed))
+        )
+
+    return {
+        "benchmark": "executor-parallel-sweep",
+        "quick": quick,
+        "cells": len(cells),
+        "jobs": JOBS,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_s": round(serial_wall, 3),
+        "parallel_wall_s": round(parallel_wall, 3),
+        "speedup": round(serial_wall / parallel_wall, 2),
+        "ticks_identical": identical,
+        "resume": {
+            "primed": len(primed),
+            "cache_hits": cache_hits,
+            "reexecuted": reexecuted,
+            "ok": resume_ok,
+        },
+    }
+
+
+def render(report) -> str:
+    return "\n".join([
+        f"grid: {report['cells']} cells "
+        f"(Table-2-shaped, jobs={report['jobs']}, "
+        f"cpus={report['cpu_count']})",
+        f"serial   (--jobs 1): {report['serial_wall_s']:.3f}s",
+        f"parallel (--jobs {report['jobs']}): "
+        f"{report['parallel_wall_s']:.3f}s  "
+        f"({report['speedup']:.2f}x)",
+        f"tick-for-tick identical: {report['ticks_identical']}",
+        f"resume: {report['resume']['cache_hits']} cache-hits / "
+        f"{report['resume']['reexecuted']} re-executed "
+        f"(ok={report['resume']['ok']})",
+    ])
+
+
+def write_json(report) -> str:
+    path = os.path.abspath(JSON_PATH)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def test_executor_sweep(benchmark):
+    benchmark.group = "executor"
+    quick = os.environ.get("REPRO_BENCH_QUICK") == "1"
+    report = benchmark.pedantic(measure, kwargs={"quick": quick},
+                                rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        serial_wall_s=report["serial_wall_s"],
+        parallel_wall_s=report["parallel_wall_s"],
+        speedup=report["speedup"],
+    )
+    assert report["ticks_identical"]
+    assert report["resume"]["ok"]
+    if (os.cpu_count() or 1) >= JOBS:
+        # on a multi-core runner the pool must be measurably faster
+        assert report["parallel_wall_s"] < report["serial_wall_s"]
+    if not quick:
+        write_json(report)
+    emit_report("executor", "Executor: parallel sweep vs serial",
+                render(report))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+    report = measure(quick=args.quick)
+    print(render(report))
+    if not (report["ticks_identical"] and report["resume"]["ok"]):
+        return 1
+    if not args.quick:
+        path = write_json(report)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,59 +5,74 @@ kmeans as the thread count grows. Reproduced shapes: the lock
 configurations and TL2 scale on the low-contention micros; coarse locks
 flatten where sections serialize (rbtree-high); TH-high is where
 multi-grain locks keep scaling while TL2 degrades past 4 threads.
+
+Like Table 2, the grid runs through the parallel fault-tolerant executor;
+the JSONL event stream lands at ``results/figure8_events.jsonl`` and the
+result cache makes ``--resume`` re-runs incremental.
+
+Run standalone (``python benchmarks/bench_figure8_scalability.py
+[--jobs N] [--resume]``) or under pytest.
 """
 
-import pytest
+import argparse
+import os
+import sys
 
-from conftest import emit_report
-from repro.bench import ALL_BENCHMARKS, CONFIGS, run_benchmark
-from repro.bench.reporting import figure8
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import RESULTS_DIR, emit_report  # noqa: E402
+from repro.bench import ExecutorOptions  # noqa: E402
+from repro.bench.reporting import FIGURE8_BENCHES, figure8, figure8_series  # noqa: E402
 
 N_OPS = 60
 THREADS = (1, 2, 4, 8)
-BENCHES = (
-    ("rbtree", "low"),
-    ("rbtree", "high"),
-    ("hashtable-2", "low"),
-    ("hashtable-2", "high"),
-    ("TH", "low"),
-    ("TH", "high"),
-    ("genome", None),
-    ("kmeans", None),
-)
-
-_series = {}
+EVENTS_PATH = os.path.join(RESULTS_DIR, "figure8_events.jsonl")
 
 
-@pytest.mark.parametrize(
-    "name,setting", BENCHES,
-    ids=[f"{n}-{s}" if s else n for n, s in BENCHES],
-)
-def test_figure8_series(benchmark, name, setting):
+def options(jobs=1, resume=False, events_path=EVENTS_PATH):
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    if not resume and events_path and os.path.exists(events_path):
+        os.remove(events_path)
+    return ExecutorOptions(jobs=jobs, resume=resume, events_path=events_path)
+
+
+def regenerate(jobs=1, resume=False, n_ops=N_OPS):
+    series = figure8_series(
+        benches=FIGURE8_BENCHES, thread_counts=THREADS, n_ops=n_ops,
+        executor=options(jobs=jobs, resume=resume),
+    )
+    emit_report(
+        "figure8",
+        f"Figure 8: scalability (ticks) across {THREADS} threads, "
+        f"{n_ops} ops/thread",
+        figure8(series),
+    )
+    return series
+
+
+def test_figure8(benchmark):
     benchmark.group = "figure8"
-    spec = ALL_BENCHMARKS[name]
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    series = benchmark.pedantic(regenerate, kwargs={"jobs": jobs},
+                                rounds=1, iterations=1)
+    for label, per_config in series.items():
+        for config, per_thread in per_config.items():
+            assert None not in per_thread.values(), (
+                f"cell {label}/{config} failed")
+        benchmark.extra_info[label] = per_config
 
-    def run_series():
-        return {
-            config: {
-                threads: run_benchmark(
-                    spec, config, threads=threads, setting=setting,
-                    n_ops=N_OPS,
-                ).ticks
-                for threads in THREADS
-            }
-            for config in CONFIGS
-        }
 
-    data = benchmark.pedantic(run_series, rounds=1, iterations=1)
-    label = f"{name}-{setting}" if setting else name
-    for config, per_thread in data.items():
-        benchmark.extra_info[config] = per_thread
-    _series[label] = data
-    if len(_series) == len(BENCHES):
-        emit_report(
-            "figure8",
-            f"Figure 8: scalability (ticks) across {THREADS} threads, "
-            f"{N_OPS} ops/thread",
-            figure8(_series),
-        )
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--resume", action="store_true")
+    parser.add_argument("--ops", type=int, default=N_OPS)
+    args = parser.parse_args(argv)
+    series = regenerate(jobs=args.jobs, resume=args.resume, n_ops=args.ops)
+    print(figure8(series))
+    print(f"\nevent log: {EVENTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,53 +5,81 @@ low and high settings) we run the four configurations of the paper —
 Global, Coarse (k=0), Fine+Coarse (k=9), and the TL2 STM — on the simulated
 8-core machine and report makespans in ticks.
 
+The grid runs through the parallel fault-tolerant executor
+(:mod:`repro.bench.executor`): cells fan out across ``--jobs`` worker
+processes, finished cells land in ``results/cache/`` (``--resume`` skips
+them on a re-run), and the JSONL event stream is persisted next to the
+rendered report at ``results/table2_events.jsonl``.
+
 Reproduced shapes (paper Table 2): STM catastrophic on vacation, worst on
 genome/kmeans/bayes/hashtable-high, best on labyrinth and the low-contention
 micros; read-only coarse locks ≈ 2x global on the `low` micros; fine locks
 ≈ 2x coarse on hashtable-2-high; coarse ≈ global on the STAMP programs.
+
+Run standalone (``python benchmarks/bench_table2_execution_times.py
+[--jobs N] [--resume] [--ops N]``) or under pytest.
 """
 
-import pytest
+import argparse
+import os
+import sys
 
-from conftest import emit_report
-from repro.bench import ALL_BENCHMARKS, CONFIGS, run_benchmark
-from repro.bench.reporting import table2
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import RESULTS_DIR, emit_report  # noqa: E402
+from repro.bench import ExecutorOptions  # noqa: E402
+from repro.bench.reporting import table2, table2_rows  # noqa: E402
 
 N_OPS = 120
-_rows = []
-_cells = [
-    (spec, setting)
-    for spec in ALL_BENCHMARKS.values()
-    for setting in spec.settings
-]
+EVENTS_PATH = os.path.join(RESULTS_DIR, "table2_events.jsonl")
 
 
-@pytest.mark.parametrize(
-    "spec,setting",
-    _cells,
-    ids=[f"{s.name}-{st}" if st else s.name for s, st in _cells],
-)
-def test_table2_row(benchmark, spec, setting):
+def options(jobs=1, resume=False, events_path=EVENTS_PATH):
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    if not resume and events_path and os.path.exists(events_path):
+        os.remove(events_path)  # fresh sweep, fresh event log
+    return ExecutorOptions(jobs=jobs, resume=resume, events_path=events_path)
+
+
+def regenerate(jobs=1, resume=False, threads=8, n_ops=N_OPS):
+    rows = table2_rows(threads=threads, n_ops=n_ops,
+                       executor=options(jobs=jobs, resume=resume))
+    emit_report(
+        "table2",
+        f"Table 2: execution times (simulated ticks), {threads} threads, "
+        f"{n_ops} ops/thread",
+        table2(rows),
+    )
+    return rows
+
+
+def test_table2(benchmark):
     benchmark.group = "table2"
-
-    def run_row():
-        return {
-            config: run_benchmark(
-                spec, config, threads=8, setting=setting, n_ops=N_OPS
-            )
-            for config in CONFIGS
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    rows = benchmark.pedantic(regenerate, kwargs={"jobs": jobs},
+                              rounds=1, iterations=1)
+    for label, results in rows:
+        for config, result in results.items():
+            assert hasattr(result, "ticks"), (
+                f"cell {label}/{config} failed: {result!r}")
+        benchmark.extra_info[label] = {
+            config: result.ticks for config, result in results.items()
         }
 
-    results = benchmark.pedantic(run_row, rounds=1, iterations=1)
-    label = f"{spec.name}-{setting}" if setting else spec.name
-    for config, result in results.items():
-        benchmark.extra_info[config] = result.ticks
-    benchmark.extra_info["stm_aborts"] = results["stm"].stm_aborts
-    _rows.append((label, results))
-    if len(_rows) == len(_cells):
-        emit_report(
-            "table2",
-            f"Table 2: execution times (simulated ticks), 8 threads, "
-            f"{N_OPS} ops/thread",
-            table2(_rows),
-        )
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--resume", action="store_true")
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--ops", type=int, default=N_OPS)
+    args = parser.parse_args(argv)
+    rows = regenerate(jobs=args.jobs, resume=args.resume,
+                      threads=args.threads, n_ops=args.ops)
+    print(table2(rows))
+    print(f"\nevent log: {EVENTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,17 @@ from .configs import (
     STAMP_BENCHMARKS,
     BenchSpec,
 )
+from .executor import (
+    Cell,
+    CellResult,
+    CellTimeout,
+    ExecutorOptions,
+    ablation_k_cells,
+    cell_key,
+    figure8_cells,
+    run_cells,
+    table2_cells,
+)
 from .harness import RunResult, build_world, run_benchmark, run_config_sweep, run_seq
 
 __all__ = [
@@ -22,4 +33,13 @@ __all__ = [
     "run_config_sweep",
     "build_world",
     "run_seq",
+    "Cell",
+    "CellResult",
+    "CellTimeout",
+    "ExecutorOptions",
+    "run_cells",
+    "cell_key",
+    "table2_cells",
+    "figure8_cells",
+    "ablation_k_cells",
 ]

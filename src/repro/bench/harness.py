@@ -16,6 +16,7 @@ front half of the pipeline exactly once.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -54,6 +55,14 @@ class RunResult:
     def label(self) -> str:
         suffix = f"-{self.setting}" if self.setting else ""
         return f"{self.bench}{suffix}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (executor cache / event stream)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        return cls(**data)
 
 
 class _InferenceCache:
@@ -145,9 +154,10 @@ def run_benchmark(
     audit: bool = False,
     seed: int = 1234,
     policy=None,
+    k: Optional[int] = None,
 ) -> RunResult:
     n_ops = n_ops if n_ops is not None else spec.default_ops
-    world, mode = build_world(spec, config, check=check, audit=audit)
+    world, mode = build_world(spec, config, check=check, audit=audit, k=k)
     schedules = spec.schedule(setting, threads, n_ops, seed=seed)
     scheduler = Scheduler(ncores=ncores, policy=policy)
     for tid, ops in enumerate(schedules):

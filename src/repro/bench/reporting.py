@@ -15,6 +15,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..inference import LockClassCounts, LockInference, SharedAnalysis
 from .configs import ALL_BENCHMARKS, CONFIGS, BenchSpec
+from .executor import (
+    CellResult,
+    ExecutorOptions,
+    figure8_cells,
+    run_cells,
+    table2_cells,
+)
 from .harness import RunResult, run_benchmark
 
 
@@ -108,42 +115,79 @@ def figure7(counts: Dict[int, LockClassCounts]) -> str:
 # ---------------------------------------------------------------------------
 
 
+CONFIG_TITLES = {
+    "global": "Global",
+    "coarse": "Coarse (k=0)",
+    "fine+coarse": "Fine+Coarse (k=9)",
+    "stm": "STM",
+}
+
+
+def _unwrap(outcome: CellResult):
+    """A row value: the RunResult when the cell succeeded, otherwise the
+    CellResult itself (rendered as an error marker)."""
+    return outcome.result if outcome.ok else outcome
+
+
 def table2_rows(
     benches: Optional[Dict[str, BenchSpec]] = None,
     threads: int = 8,
     n_ops: Optional[int] = None,
     configs: Sequence[str] = CONFIGS,
+    executor: Optional[ExecutorOptions] = None,
 ) -> List[Tuple[str, Dict[str, RunResult]]]:
+    """The Table 2 grid through the experiment executor.
+
+    *executor* defaults to the serial in-process path (``jobs=1``); pass
+    :class:`ExecutorOptions` to fan the grid out across workers, resume
+    an interrupted sweep from the cache, or stream progress events.
+    Failed cells surface as :class:`CellResult` error rows in the dict
+    instead of aborting the sweep."""
     benches = benches if benches is not None else ALL_BENCHMARKS
+    cells = table2_cells(benches, threads=threads, n_ops=n_ops,
+                         configs=configs)
+    outcomes = run_cells(cells, executor or ExecutorOptions(jobs=1))
     rows: List[Tuple[str, Dict[str, RunResult]]] = []
+    by_cell = {(o.cell.label, o.cell.config): o for o in outcomes}
     for spec in benches.values():
         for setting in spec.settings:
-            results = {
-                config: run_benchmark(
-                    spec, config, threads=threads, setting=setting, n_ops=n_ops
-                )
-                for config in configs
-            }
             label = f"{spec.name}-{setting}" if setting else spec.name
-            rows.append((label, results))
+            rows.append((label, {
+                config: _unwrap(by_cell[(label, config)])
+                for config in configs
+            }))
     return rows
 
 
+def _cell_text(value) -> object:
+    if isinstance(value, RunResult):
+        return value.ticks
+    if isinstance(value, CellResult):
+        return f"!{value.error}"
+    return "-"
+
+
 def table2(rows: List[Tuple[str, Dict[str, RunResult]]]) -> str:
-    headers = ["Program", "Global", "Coarse (k=0)", "Fine+Coarse (k=9)", "STM",
-               "STM aborts"]
+    # render only the configurations actually present: a two-config sweep
+    # produces a two-column table instead of a KeyError
+    present: List[str] = []
+    for _, results in rows:
+        for config in results:
+            if config not in present:
+                present.append(config)
+    configs = [c for c in CONFIGS if c in present]
+    configs += [c for c in present if c not in configs]
+    headers = ["Program"] + [CONFIG_TITLES.get(c, c) for c in configs]
+    if "stm" in configs:
+        headers.append("STM aborts")
     body = []
     for label, results in rows:
-        body.append(
-            (
-                label,
-                results["global"].ticks,
-                results["coarse"].ticks,
-                results["fine+coarse"].ticks,
-                results["stm"].ticks,
-                results["stm"].stm_aborts,
-            )
-        )
+        row: List[object] = [label]
+        row += [_cell_text(results.get(config)) for config in configs]
+        if "stm" in configs:
+            stm = results.get("stm")
+            row.append(stm.stm_aborts if isinstance(stm, RunResult) else "-")
+        body.append(row)
     return _fmt_table(headers, body)
 
 
@@ -168,19 +212,22 @@ def figure8_series(
     thread_counts: Sequence[int] = (1, 2, 4, 8),
     n_ops: Optional[int] = None,
     configs: Sequence[str] = CONFIGS,
+    executor: Optional[ExecutorOptions] = None,
 ) -> Dict[str, Dict[str, Dict[int, int]]]:
-    """series[label][config][threads] = ticks."""
+    """series[label][config][threads] = ticks (None for failed cells).
+
+    Runs the grid through the experiment executor; see
+    :func:`table2_rows` for the *executor* parameter."""
+    cells = figure8_cells(benches, thread_counts=thread_counts, n_ops=n_ops,
+                          configs=configs)
+    outcomes = run_cells(cells, executor or ExecutorOptions(jobs=1))
     series: Dict[str, Dict[str, Dict[int, int]]] = {}
     for name, setting in benches:
-        spec = ALL_BENCHMARKS[name]
         label = f"{name}-{setting}" if setting else name
         series[label] = {config: {} for config in configs}
-        for config in configs:
-            for threads in thread_counts:
-                result = run_benchmark(
-                    spec, config, threads=threads, setting=setting, n_ops=n_ops
-                )
-                series[label][config][threads] = result.ticks
+    for outcome in outcomes:
+        cell = outcome.cell
+        series[cell.label][cell.config][cell.threads] = outcome.ticks
     return series
 
 
@@ -190,7 +237,11 @@ def figure8(series: Dict[str, Dict[str, Dict[int, int]]]) -> str:
         thread_counts = sorted(next(iter(per_config.values())).keys())
         headers = ["config"] + [f"{t} thr" for t in thread_counts]
         rows = [
-            [config] + [per_config[config][t] for t in thread_counts]
+            [config] + [
+                "-" if per_config[config].get(t) is None
+                else per_config[config][t]
+                for t in thread_counts
+            ]
             for config in per_config
         ]
         blocks.append(f"--- {label} ---\n" + _fmt_table(headers, rows))

@@ -10,6 +10,13 @@ Commands:
   releaseAll) program;
 * ``run <bench> --config CFG [--threads N] [--ops N] [--setting S]`` —
   simulate one benchmark cell and print the makespan and statistics;
+* ``bench <table2|figure8> [--jobs N] [--resume] [--cell-timeout S]
+  [--benches ...] [--configs ...] [--threads ...] [--ops N]
+  [--events PATH]`` — run an experiment grid through the parallel
+  fault-tolerant executor: cells fan out across worker processes, finished
+  cells are cached (``--resume`` skips them), failing cells become error
+  rows instead of killing the sweep, and the JSONL event stream renders
+  as live progress;
 * ``bench-table2 [--ops N]`` / ``bench-figure7`` — regenerate a paper
   experiment from the command line;
 * ``explore <program|all> [--policy P] [--seed S] [--schedules N]
@@ -104,6 +111,126 @@ def cmd_bench_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_bench_list(tokens: Optional[str], grid: str):
+    """Expand ``--benches`` into (name, setting) pairs. Each comma token is
+    ``name`` (all of the benchmark's settings) or ``name:setting``."""
+    from .bench.reporting import FIGURE8_BENCHES
+
+    if not tokens:
+        if grid == "figure8":
+            return list(FIGURE8_BENCHES)
+        return [
+            (name, setting)
+            for name, spec in ALL_BENCHMARKS.items()
+            for setting in spec.settings
+        ]
+    pairs = []
+    for token in tokens.split(","):
+        token = token.strip()
+        if ":" in token:
+            name, setting = token.split(":", 1)
+        else:
+            name, setting = token, None
+        spec = ALL_BENCHMARKS.get(name)
+        if spec is None:
+            raise ValueError(
+                f"unknown benchmark {name!r}; see list-benchmarks")
+        if setting is not None:
+            pairs.append((name, setting or None))
+        else:
+            for each in spec.settings:
+                pairs.append((name, each))
+    return pairs
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import ExecutorOptions, figure8_cells, run_cells
+    from .bench.reporting import figure8, table2, _unwrap
+
+    configs = tuple(
+        c.strip() for c in (args.configs or ",".join(CONFIGS)).split(",")
+    )
+    for config in configs:
+        if config not in CONFIGS:
+            print(f"unknown config {config!r} (choices: {CONFIGS})",
+                  file=sys.stderr)
+            return 2
+    try:
+        benches = _parse_bench_list(args.benches, args.grid)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.threads:
+        thread_counts = tuple(int(t) for t in args.threads.split(","))
+    else:
+        thread_counts = (1, 2, 4, 8) if args.grid == "figure8" else (8,)
+    cells = figure8_cells(benches, thread_counts=thread_counts,
+                          n_ops=args.ops, configs=configs)
+
+    state = {"done": 0}
+    total = len(cells)
+
+    def progress(event: dict) -> None:
+        if args.quiet:
+            return
+        kind = event["event"]
+        label = event.get("label", "")
+        where = (f"{label} [{event.get('config')}] "
+                 f"x{event.get('threads')} thr")
+        if kind == "cell-finish":
+            state["done"] += 1
+            print(f"[{state['done']:3d}/{total}] done   {where}: "
+                  f"{event['ticks']} ticks ({event['duration_s']:.2f}s)")
+        elif kind == "cache-hit":
+            state["done"] += 1
+            print(f"[{state['done']:3d}/{total}] cached {where}: "
+                  f"{event['ticks']} ticks")
+        elif kind == "cell-error":
+            if event.get("will_retry"):
+                print(f"[{state['done']:3d}/{total}] RETRY  {where}: "
+                      f"{event.get('error')}: {event.get('message')}")
+            else:
+                state["done"] += 1
+                print(f"[{state['done']:3d}/{total}] ERROR  {where}: "
+                      f"{event.get('error')}: {event.get('message')}")
+        elif kind == "sweep-end":
+            print(f"sweep done: {event['ok']} ok, {event['errors']} errors, "
+                  f"{event['cached']} cached, {event['duration_s']:.2f}s")
+
+    options = ExecutorOptions(
+        jobs=args.jobs,
+        resume=args.resume,
+        cell_timeout=args.cell_timeout,
+        max_attempts=args.retries,
+        cache_dir=args.cache_dir,
+        events_path=args.events,
+        progress=progress,
+    )
+    outcomes = run_cells(cells, options)
+
+    # render: one table2-style block per thread count
+    print()
+    for threads in thread_counts:
+        rows = {}
+        for outcome in outcomes:
+            if outcome.cell.threads != threads:
+                continue
+            rows.setdefault(outcome.cell.label, {})[outcome.cell.config] = (
+                _unwrap(outcome)
+            )
+        print(f"--- {threads} thread(s) ---")
+        print(table2(list(rows.items())))
+        print()
+    errors = [o for o in outcomes if not o.ok]
+    if errors:
+        print(f"{len(errors)} cell(s) failed:", file=sys.stderr)
+        for outcome in errors:
+            print(f"  {outcome.cell.label} [{outcome.cell.config}] "
+                  f"x{outcome.cell.threads}: {outcome.error}: "
+                  f"{outcome.message}", file=sys.stderr)
+    return 1 if errors else 0
+
+
 def cmd_bench_figure7(args: argparse.Namespace) -> int:
     sources = {name: spec.source for name, spec in ALL_BENCHMARKS.items()}
     print(figure7(figure7_counts(sources)))
@@ -192,6 +319,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ops", type=int, default=None)
     p.add_argument("--setting", choices=("low", "high"), default=None)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "bench",
+        help="run an experiment grid through the parallel executor",
+    )
+    p.add_argument("grid", choices=("table2", "figure8"), nargs="?",
+                   default="table2",
+                   help="grid preset: table2 = benches x configs at one "
+                        "thread count; figure8 = x thread counts")
+    p.add_argument("--benches", default=None,
+                   help="comma list of benchmark names (name or "
+                        "name:setting); default = the preset's grid")
+    p.add_argument("--configs", default=None,
+                   help=f"comma list from {CONFIGS}; default all")
+    p.add_argument("--threads", default=None,
+                   help="comma list of thread counts "
+                        "(default: 8 for table2, 1,2,4,8 for figure8)")
+    p.add_argument("--ops", type=int, default=None,
+                   help="ops per thread (default: each benchmark's own)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: cpu count; 1 = serial "
+                        "in-process)")
+    p.add_argument("--resume", action="store_true",
+                   help="serve cells already in the result cache instead "
+                        "of re-running them")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   help="wall-clock seconds per cell attempt")
+    p.add_argument("--retries", type=int, default=2,
+                   help="max attempts per cell (timeout/crash retry)")
+    p.add_argument("--events", default=None,
+                   help="append the JSONL event stream to this file")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache dir (default benchmarks/results/cache)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress live progress lines")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("bench-table2", help="regenerate Table 2")
     p.add_argument("--threads", type=int, default=8)

@@ -171,8 +171,60 @@ class PointsTo:
         for func in self.program.functions.values():
             for instr in ir.walk_instrs(func.body):
                 self._process(func, instr)
+        self._assign_class_ids()
         self._analyzed = True
         return self
+
+    def _assign_class_ids(self) -> None:
+        """Pin class-id numbering to canonical program order.
+
+        Ids used to be minted on first query, which made them — and the
+        canonical lock-acquisition order built on them — depend on which
+        inference configurations and simulations had already queried this
+        (possibly shared) analysis earlier in the process.  Assigning them
+        here, by a fixed closure walk over every variable, allocation site,
+        and declared struct field, makes the numbering a pure function of
+        the program text, so cached analyses give identical results in any
+        query order.
+        """
+        for site_id in sorted(self._sites):
+            # pre-create the cells a runtime access could touch, so the
+            # checker's lazy class_of_site_cell can't mint new classes
+            ecr = self._sites[site_id]
+            site = self.sites.get(site_id)
+            if site is not None:
+                struct = self.program.structs.get(site.type_name)
+                if struct is not None:
+                    for fieldname in struct.field_names:
+                        self._get_field(ecr, fieldname)
+                if site.is_array:
+                    self._get_field(ecr, IDX_FIELD)
+        queue: List[ECR] = []
+        for name in self.program.globals:
+            queue.append(self.var_ecr("", name))
+        for func in self.program.functions.values():
+            for name in func.params:
+                queue.append(self.var_ecr(func.name, name))
+            for name in func.locals:
+                queue.append(self.var_ecr(func.name, name))
+            queue.append(self.var_ecr(func.name, ast.return_var(func.name)))
+        for key in list(self._vars):  # temps the pass created beyond the above
+            queue.append(self._vars[key])
+        for site_id in sorted(self._sites):
+            queue.append(self._sites[site_id])
+        head = 0
+        seen = set()
+        while head < len(queue):
+            root = queue[head].find()
+            head += 1
+            if root in seen:
+                continue
+            seen.add(root)
+            self.class_id(root)
+            if root.pts is not None:
+                queue.append(root.pts)
+            for fieldname in sorted(root.fields):
+                queue.append(root.fields[fieldname])
 
     def _process(self, func: ir.LoweredFunction, instr: ir.Instr) -> None:
         fname = func.name

@@ -88,6 +88,11 @@ class LockManager:
         # mirrors self.held as a per-thread name set for O(1) membership
         # (self.held stays a list because release order matters)
         self._held_names: Dict[int, set] = {}
+        # nodes where the thread has a live waiter registration but no
+        # grant yet — release_all must clear these too, or a registration
+        # on a node the thread never acquired outlives the section and
+        # poisons every later can_grant FIFO check
+        self._waiting: Dict[int, Dict[object, LockNode]] = {}
         self.stats = LockStats()
 
     def node(self, name: object) -> LockNode:
@@ -114,14 +119,22 @@ class LockManager:
             if name not in names:
                 names.add(name)
                 self.held.setdefault(tid, []).append(node)
+            waiting = self._waiting.get(tid)
+            if waiting:
+                waiting.pop(name, None)
         else:
             self.stats.blocks += 1
+            self._waiting.setdefault(tid, {})[name] = node
         return acquired
 
     def release_all(self, tid: int) -> None:
         # bottom-up: release in reverse acquisition order
         for node in reversed(self.held.get(tid, [])):
             node.release(tid)
+        # drop waiter registrations on nodes the thread never acquired
+        # (e.g. a validate-and-retry release while a request was pending)
+        for node in self._waiting.pop(tid, {}).values():
+            node.waiters.pop(tid, None)
         self.held[tid] = []
         self._held_names[tid] = set()
 

@@ -58,13 +58,20 @@ class SimStats:
     ticks: int = 0
     work_done: int = 0
     blocked_ticks: int = 0
+    failed_tries: int = 0
     ncores: int = 1
     per_thread_work: Dict[int, int] = field(default_factory=dict)
     per_thread_blocked: Dict[int, int] = field(default_factory=dict)
+    per_thread_failed_tries: Dict[int, int] = field(default_factory=dict)
 
     @property
     def utilization(self) -> float:
-        """Fraction of core-ticks that did work (1.0 = fully parallel)."""
+        """Fraction of core-ticks that did work (1.0 = fully parallel).
+
+        A failed TRY attempt occupies its core slot for the tick but does
+        no work: it is counted in ``failed_tries`` (and the thread's
+        blocked time starts the same tick), never in ``work_done``.
+        """
         if self.ticks == 0:
             return 0.0
         return self.work_done / (self.ticks * self.ncores)
@@ -118,42 +125,57 @@ class Scheduler:
         self.threads.append(thread)
         self.stats.per_thread_work[thread.tid] = 0
         self.stats.per_thread_blocked[thread.tid] = 0
+        self.stats.per_thread_failed_tries[thread.tid] = 0
         return thread
 
     # -- event handling -------------------------------------------------------
 
-    def _advance(self, thread: SimThread) -> None:
-        """Run *thread* for one unit of work on a core."""
+    def _advance(self, thread: SimThread) -> bool:
+        """Run *thread* for one unit of work on a core.
+
+        Returns True when the tick performed work (a work unit consumed or
+        a TRY attempt that succeeded), False when a TRY predicate failed
+        and the thread blocked — the core slot was occupied but no work
+        happened.
+        """
         if thread.pending_work > 0:
             thread.pending_work -= 1
             if thread.pending_work == 0:
                 thread.fetch()
-            return
+            return True
         event = thread.current
         if event is None:
             thread.fetch()  # a bare `yield` = one tick of work
-            return
+            return True
         if isinstance(event, int):
-            thread.pending_work = max(0, event - 1)
+            if event < 1:
+                raise ValueError(
+                    f"work event must consume at least one tick, got {event}"
+                )
+            thread.pending_work = event - 1
             if thread.pending_work == 0:
                 thread.fetch()
-            return
+            return True
         kind = event[0]
         if kind == WORK:
-            thread.pending_work = max(0, event[1] - 1)
+            if event[1] < 1:
+                raise ValueError(
+                    f"work event must consume at least one tick, got {event[1]}"
+                )
+            thread.pending_work = event[1] - 1
             if thread.pending_work == 0:
                 thread.fetch()
-            return
+            return True
         if kind == TRY:
             fn = event[1]
             if fn():
                 thread.fetch()
-            else:
-                thread.state = "blocked"
-                thread.try_fn = fn
-                self._block_counter += 1
-                thread.block_order = self._block_counter
-            return
+                return True
+            thread.state = "blocked"
+            thread.try_fn = fn
+            self._block_counter += 1
+            thread.block_order = self._block_counter
+            return False
         raise ValueError(f"unknown sim event {event!r}")
 
     # -- main loop -------------------------------------------------------------
@@ -194,11 +216,15 @@ class Scheduler:
             self.stats.ticks += 1
             finished = False
             for thread in chosen:
-                self._advance(thread)
+                did_work = self._advance(thread)
                 if thread.state == "done":
                     finished = True
-                self.stats.work_done += 1
-                self.stats.per_thread_work[thread.tid] += 1
+                if did_work:
+                    self.stats.work_done += 1
+                    self.stats.per_thread_work[thread.tid] += 1
+                else:
+                    self.stats.failed_tries += 1
+                    self.stats.per_thread_failed_tries[thread.tid] += 1
             still_blocked = [t for t in unfinished if t.state == "blocked"]
             for thread in still_blocked:
                 self.stats.blocked_ticks += 1

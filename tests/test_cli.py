@@ -1,5 +1,7 @@
 """Command-line interface tests."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -72,6 +74,41 @@ def test_list_benchmarks(capsys):
     out = capsys.readouterr().out
     for name in ("rbtree", "hashtable-2", "vacation", "labyrinth"):
         assert name in out
+
+
+def test_bench_mini_sweep(tmp_path, capsys):
+    events = tmp_path / "events.jsonl"
+    code = main([
+        "bench", "table2", "--benches", "hashtable-2",
+        "--configs", "global,fine+coarse", "--threads", "2", "--ops", "6",
+        "--cache-dir", str(tmp_path / "cache"), "--events", str(events),
+        "--quiet",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hashtable-2-low" in out and "Fine+Coarse" in out
+    assert "STM" not in out  # only requested configs rendered
+    assert events.exists()
+    with open(events) as handle:
+        kinds = [json.loads(line)["event"] for line in handle]
+    assert kinds[0] == "sweep-start" and kinds[-1] == "sweep-end"
+    assert kinds.count("cell-finish") == 4  # 2 configs x 2 settings
+
+
+def test_bench_resume_uses_cache(tmp_path, capsys):
+    base = [
+        "bench", "table2", "--benches", "hashtable-2",
+        "--configs", "global", "--threads", "2", "--ops", "6",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(base + ["--quiet"]) == 0
+    capsys.readouterr()
+    assert main(base + ["--resume"]) == 0
+    assert "2 cached" in capsys.readouterr().out
+
+
+def test_bench_unknown_benchmark_fails(capsys):
+    assert main(["bench", "table2", "--benches", "nope"]) == 2
 
 
 def test_parser_requires_command():

@@ -180,6 +180,37 @@ def test_unknown_function_is_ignored():
     assert pt.var_key("f", "y") == ("f", "y")
 
 
+def test_class_ids_independent_of_query_order():
+    """Regression: ids were minted on first query, so a shared analysis
+    handed different numberings — and therefore different canonical lock
+    orders — to callers depending on what ran earlier in the process.
+    After analyze() the numbering must be fixed; any query order on two
+    fresh analyses of the same program must agree."""
+    src = """
+        struct e { e* next; int key; }
+        int g;
+        void f() { e* a = new e; a->next = a; g = a->key; }
+        """
+    _, pt1 = analyze(src)
+    _, pt2 = analyze(src)
+    site = next(iter(pt1.sites))
+    # query in opposite orders
+    first = (pt1.class_of_site_cell(site, "next"),
+             pt1.class_of_site_cell(site, "key"),
+             pt1.class_of_var("", "g"),
+             pt1.class_of_site_base(site))
+    second = (pt2.class_of_site_base(site),
+              pt2.class_of_var("", "g"),
+              pt2.class_of_site_cell(site, "key"),
+              pt2.class_of_site_cell(site, "next"))
+    assert first == tuple(reversed(second))
+    # and a field the unification saw must already have a pinned id:
+    # querying it never grows the table
+    before = len(pt1._class_ids)
+    pt1.class_of_site_cell(site, "next")
+    assert len(pt1._class_ids) == before
+
+
 # ---------------------------------------------------------------------------
 # alias oracle over lock terms
 # ---------------------------------------------------------------------------

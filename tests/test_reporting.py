@@ -53,6 +53,26 @@ def test_table2_rows_and_rendering():
     assert "Global" in text and "STM" in text
 
 
+def test_table2_renders_config_subset():
+    """Regression: table2 hard-indexed the four default configs and raised
+    KeyError on any narrower sweep; it must render the columns present."""
+    benches = {"hashtable-2": MICRO_BENCHMARKS["hashtable-2"]}
+    rows = table2_rows(benches, threads=2, n_ops=6,
+                       configs=("global", "fine+coarse"))
+    text = table2(rows)
+    assert "Global" in text and "Fine+Coarse (k=9)" in text
+    assert "STM" not in text and "Coarse (k=0)" not in text
+    assert "hashtable-2-low" in text and "hashtable-2-high" in text
+
+
+def test_table2_renders_stm_only_sweep():
+    benches = {"hashtable-2": MICRO_BENCHMARKS["hashtable-2"]}
+    rows = table2_rows(benches, threads=2, n_ops=6, configs=("stm",))
+    text = table2(rows)
+    assert "STM" in text and "STM aborts" in text
+    assert "Global" not in text
+
+
 def test_figure8_series_and_rendering():
     series = figure8_series(
         benches=(("hashtable-2", "low"),),

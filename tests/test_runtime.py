@@ -136,6 +136,35 @@ def test_release_all_clears_everything():
     assert mgr.try_acquire_node(2, ("cls", 0), X)
 
 
+def test_release_all_clears_waiter_registrations():
+    """Regression: a waiter registration on a node the thread never
+    acquired must not survive release_all — the stale entry would deny
+    every later incompatible request via the FIFO no-overtaking check,
+    a false deadlock with no holder anywhere."""
+    mgr = LockManager()
+    assert mgr.try_acquire_node(1, ROOT, X)  # holder
+    assert not mgr.try_acquire_node(2, ROOT, X)  # tid 2 now waits on ROOT
+    # tid 2 abandons the attempt (validate-and-retry releases everything
+    # before replanning); it holds nothing, but it is registered as a
+    # waiter on a node it never acquired
+    mgr.release_all(2)
+    mgr.release_all(1)
+    # no holders, no live waiters: a fresh reader must be granted; with
+    # the stale X waiter left behind this was denied forever
+    assert mgr.try_acquire_node(3, ROOT, S)
+    assert not mgr.node(ROOT).waiters
+
+
+def test_release_all_keeps_other_threads_waiters():
+    mgr = LockManager()
+    assert mgr.try_acquire_node(1, ROOT, S)
+    assert not mgr.try_acquire_node(2, ROOT, X)  # writer queues
+    mgr.release_all(1)  # must clear only tid 1's state
+    # tid 2's waiter survived: FIFO still blocks a later reader
+    assert not mgr.try_acquire_node(3, ROOT, S)
+    assert mgr.try_acquire_node(2, ROOT, X)
+
+
 # ---------------------------------------------------------------------------
 # request planning
 # ---------------------------------------------------------------------------

@@ -81,6 +81,69 @@ def test_blocked_threads_free_their_core():
     assert stats.blocked_ticks > 0
 
 
+def test_zero_length_work_event_rejected():
+    def zero_int():
+        yield 0
+
+    with pytest.raises(ValueError):
+        run_threads([zero_int()], ncores=1)
+
+
+def test_zero_length_work_tuple_rejected():
+    def zero_tuple():
+        yield (WORK, 0)
+
+    with pytest.raises(ValueError):
+        run_threads([zero_tuple()], ncores=1)
+
+    def negative():
+        yield -3
+
+    with pytest.raises(ValueError):
+        run_threads([negative()], ncores=1)
+
+
+def test_failed_try_not_counted_as_work():
+    """Utilization pinned on a hand-built block/unblock schedule.
+
+    Two cores. Thread A's TRY fails on tick 1 (occupies a core slot, does
+    no work, blocks); thread B works ticks 1-3 and flips the flag at the
+    end of tick 2; A wakes at the start of tick 3 and does its single work
+    unit alongside B's last. Exactly 4 work units in 3 ticks on 2 cores.
+    """
+    state = {"ready": False}
+
+    def a():
+        yield (TRY, lambda: state["ready"])
+        yield 1
+
+    def b():
+        yield 1
+        yield 1
+        state["ready"] = True
+        yield 1
+
+    stats = run_threads([a(), b()], ncores=2)
+    assert stats.ticks == 3
+    assert stats.work_done == 4  # A: 1, B: 3 — the failed TRY is not work
+    assert stats.failed_tries == 1
+    assert stats.per_thread_failed_tries == {0: 1, 1: 0}
+    assert stats.blocked_ticks == 2  # A blocked during ticks 1 and 2
+    assert stats.per_thread_work == {0: 1, 1: 3}
+    assert stats.utilization == pytest.approx(4 / (3 * 2))
+
+
+def test_successful_try_counts_as_work():
+    def taker():
+        yield (TRY, lambda: True)  # succeeds inline: consumed the tick
+        yield 1
+
+    stats = run_threads([taker()], ncores=1)
+    assert stats.ticks == 2
+    assert stats.work_done == 2
+    assert stats.failed_tries == 0
+
+
 def test_deadlock_detected():
     def stuck():
         yield (TRY, lambda: False)
