@@ -1,0 +1,261 @@
+"""Resilience benchmark: recovery latency, degraded throughput, chaos.
+
+Exercises the ``repro.runtime.resilience`` layer end to end and writes
+``BENCH_resilience.json`` at the repo root:
+
+* **recovery latency** — for each stall-shaped fault kind, chaos runs
+  with recovery enabled; reports aborts, recoveries, and the tick
+  distance from first stall detection to the successful retry commit;
+* **degraded throughput** — a parallel workload (hashtable) under the
+  inferred fine+coarse plans, the same plans force-degraded to the
+  single global lock (``start_degraded``), the native global-lock
+  config, and the STM baseline; degraded mode must track the native
+  global-lock makespan;
+* **watchdog overhead** — a clean (fault-free) run with the watchdog
+  armed must be tick-for-tick identical to the unarmed run (the
+  watchdog observes, it never perturbs a healthy schedule);
+* **chaos matrix** — every stall fault kind under random + PCT
+  schedules: recovery-enabled runs terminate with the sequential
+  fingerprint; recovery-disabled runs reproduce the deadlock/livelock
+  canaries.
+
+Run standalone (``python benchmarks/bench_resilience.py [--quick]``,
+``--quick`` = CI smoke: fewer seeds, canary search skipped) or under
+pytest (``pytest benchmarks/bench_resilience.py``).
+"""
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import emit_report  # noqa: E402
+from repro.explore import chaos_cell, chaos_suite  # noqa: E402
+from repro.explore.chaos import (  # noqa: E402
+    CHAOS_FAULT_KINDS,
+    DEFAULT_PROGRAM_FOR_FAULT,
+)
+from repro.explore.runner import resolve_target, run_schedule  # noqa: E402
+from repro.runtime.resilience import ResilienceConfig  # noqa: E402
+from repro.sim import make_policy  # noqa: E402
+
+JSON_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_resilience.json"
+)
+
+# degraded mode runs the same single-node [(ROOT, X)] plan the native
+# global config runs; its makespan may drift only by this factor
+DEGRADED_VS_GLOBAL_BAR = 2.0
+
+# effectively-infinite lease for fault-free throughput runs: under the
+# global lock, section-open time includes the queue wait, which is not
+# a stall
+NO_LEASE = 1_000_000_000
+
+
+def recovery_latency(quick: bool):
+    seeds = range(2 if quick else 4)
+    rows = {}
+    for fault in CHAOS_FAULT_KINDS:
+        target = resolve_target(DEFAULT_PROGRAM_FOR_FAULT[fault])
+        outcome = chaos_cell(target, fault, "random", seeds=seeds,
+                             check_canary=False)
+        latencies = outcome.recovery_latencies
+        rows[fault] = {
+            "program": target.name,
+            "runs": len(outcome.seeds),
+            "recovered_runs": outcome.recovered_runs,
+            "aborts": outcome.stats.get("aborts", 0),
+            "recoveries": outcome.stats.get("recoveries", 0),
+            "fault_firings": outcome.fault_firings,
+            "latency_mean_ticks": (
+                round(sum(latencies) / len(latencies), 1)
+                if latencies else None
+            ),
+            "latency_max_ticks": max(latencies) if latencies else None,
+        }
+    return rows
+
+
+def _timed_run(target, config, threads, ops, resilience=None):
+    started = time.perf_counter()
+    record, world = run_schedule(
+        target, config, make_policy("rr"),
+        threads=threads, ops=ops, seed=0,
+        detector=False, check=False, audit=False,
+        resilience=resilience,
+    )
+    elapsed = time.perf_counter() - started
+    assert not record.violations, (config, record.violations)
+    return record, world, elapsed
+
+
+def degraded_throughput(quick: bool):
+    target = resolve_target("hashtable")
+    threads, ops = 4, (4 if quick else 8)
+    total_ops = threads * ops
+
+    fine, _, _ = _timed_run(target, "fine+coarse", threads, ops)
+    degraded_cfg = ResilienceConfig(start_degraded=True,
+                                    lease_ticks=NO_LEASE)
+    degraded, world, _ = _timed_run(target, "fine+coarse", threads, ops,
+                                    resilience=degraded_cfg)
+    glob, _, _ = _timed_run(target, "global", threads, ops)
+    stm, _, _ = _timed_run(target, "stm", threads, ops)
+
+    stats = world.resilience.stats
+    rows = {
+        "program": target.name,
+        "threads": threads,
+        "ops_per_thread": ops,
+        "fine_ticks": fine.ticks,
+        "degraded_ticks": degraded.ticks,
+        "global_ticks": glob.ticks,
+        "stm_ticks": stm.ticks,
+        "degraded_aborts": stats.aborts,
+        "fine_throughput": round(total_ops / fine.ticks, 5),
+        "degraded_throughput": round(total_ops / degraded.ticks, 5),
+        "global_throughput": round(total_ops / glob.ticks, 5),
+        "stm_throughput": round(total_ops / stm.ticks, 5),
+        "degraded_vs_global_x": round(degraded.ticks / glob.ticks, 3),
+        "bar_x": DEGRADED_VS_GLOBAL_BAR,
+    }
+    return rows
+
+
+def watchdog_overhead(quick: bool):
+    target = resolve_target("counter")
+    threads, ops = 3, (4 if quick else 8)
+    bare, _, bare_s = _timed_run(target, "fine+coarse", threads, ops)
+    config = ResilienceConfig(lease_ticks=NO_LEASE)
+    armed, world, armed_s = _timed_run(target, "fine+coarse", threads, ops,
+                                       resilience=config)
+    return {
+        "program": target.name,
+        "bare_ticks": bare.ticks,
+        "armed_ticks": armed.ticks,
+        "tick_parity": bare.ticks == armed.ticks,
+        "armed_aborts": world.resilience.stats.aborts,
+        "bare_s": round(bare_s, 4),
+        "armed_s": round(armed_s, 4),
+    }
+
+
+def chaos_matrix(quick: bool):
+    report = chaos_suite(
+        schedules=1 if quick else 2,
+        check_canary=not quick,
+    )
+    return report.to_dict()
+
+
+def measure(quick: bool = False):
+    return {
+        "benchmark": "runtime-resilience",
+        "quick": quick,
+        "recovery_latency": recovery_latency(quick),
+        "degraded_throughput": degraded_throughput(quick),
+        "watchdog_overhead": watchdog_overhead(quick),
+        "chaos": chaos_matrix(quick),
+    }
+
+
+def render(report) -> str:
+    lines = [f"{'Fault kind':18s} {'recovered':>9s} {'aborts':>6s} "
+             f"{'latency mean':>12s} {'latency max':>11s}"]
+    for kind, row in sorted(report["recovery_latency"].items()):
+        mean = row["latency_mean_ticks"]
+        lines.append(
+            f"{kind:18s} {row['recovered_runs']:>4d}/{row['runs']:<4d} "
+            f"{row['aborts']:6d} "
+            f"{(str(mean) if mean is not None else '-'):>12s} "
+            f"{(str(row['latency_max_ticks'] or '-')):>11s}"
+        )
+    dt = report["degraded_throughput"]
+    lines.append("")
+    lines.append(
+        f"throughput ({dt['program']}, ops/tick): "
+        f"fine={dt['fine_throughput']} degraded={dt['degraded_throughput']} "
+        f"global={dt['global_throughput']} stm={dt['stm_throughput']}"
+    )
+    lines.append(
+        f"degraded vs global makespan: {dt['degraded_vs_global_x']}x "
+        f"(bar {dt['bar_x']}x)"
+    )
+    wd = report["watchdog_overhead"]
+    lines.append(
+        f"watchdog overhead: {wd['armed_ticks']} vs {wd['bare_ticks']} ticks "
+        f"({'parity' if wd['tick_parity'] else 'DRIFT'}), "
+        f"{wd['armed_s']:.3f}s vs {wd['bare_s']:.3f}s wall"
+    )
+    chaos = report["chaos"]
+    lines.append(
+        f"chaos matrix: {len(chaos['cells'])} cells, "
+        f"{'all OK' if chaos['ok'] else 'FAILURES'}"
+    )
+    for cell in chaos["cells"]:
+        canary = (cell["canary"] or "-").split("]")[-1].split(":")[0].strip()
+        lines.append(
+            f"  {cell['program']:11s} {cell['fault']:16s} "
+            f"{cell['policy']:6s} recovered "
+            f"{cell['recovered_runs']}/{cell['runs']} canary={canary}"
+        )
+    return "\n".join(lines)
+
+
+def check(report) -> None:
+    for kind, row in report["recovery_latency"].items():
+        assert row["recovered_runs"] == row["runs"], (
+            f"{kind}: not every chaos run recovered"
+        )
+        assert row["aborts"] > 0, f"{kind}: no abort was ever triggered"
+        assert row["fault_firings"] > 0, f"{kind}: fault never fired"
+        assert row["latency_mean_ticks"] is not None, (
+            f"{kind}: no recovery latency was recorded"
+        )
+    dt = report["degraded_throughput"]
+    assert dt["degraded_aborts"] == 0, "degraded clean run aborted"
+    assert dt["degraded_vs_global_x"] <= DEGRADED_VS_GLOBAL_BAR
+    assert dt["degraded_vs_global_x"] >= 1.0 / DEGRADED_VS_GLOBAL_BAR
+    wd = report["watchdog_overhead"]
+    assert wd["tick_parity"], "watchdog perturbed a healthy schedule"
+    assert wd["armed_aborts"] == 0
+    assert report["chaos"]["ok"], "chaos matrix has failing cells"
+
+
+def write_json(report) -> str:
+    path = os.path.abspath(JSON_PATH)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def test_resilience(benchmark):
+    benchmark.group = "runtime-resilience"
+    report = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["degraded_vs_global_x"] = (
+        report["degraded_throughput"]["degraded_vs_global_x"])
+    write_json(report)
+    emit_report(
+        "resilience",
+        "Runtime resilience: recovery latency, degraded throughput, chaos",
+        render(report),
+    )
+    check(report)
+
+
+def main(argv=None) -> int:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    report = measure(quick=quick)
+    print(render(report))
+    check(report)
+    path = write_json(report)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,12 +35,14 @@ import hashlib
 import json
 import os
 import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..sim.deadline import DeadlineExceeded, clear_deadline, set_deadline
 from .configs import ALL_BENCHMARKS, CONFIGS, BenchSpec
 from .harness import RunResult, run_benchmark
 
@@ -235,10 +237,25 @@ class _EventLog:
 def _alarm(timeout: Optional[float]):
     """Raise :class:`CellTimeout` after *timeout* seconds of wall clock.
 
-    Uses ``SIGALRM``; on platforms without it (or with no timeout set)
-    the cell runs unbounded."""
-    if not timeout or not hasattr(signal, "SIGALRM"):
+    Uses ``SIGALRM`` when available **and** we are on the main thread —
+    ``signal.signal`` raises anywhere else, which used to make the
+    per-cell timeout silently inert for threaded callers. Off the main
+    thread (or on platforms without the signal) it falls back to the
+    cooperative monotonic deadline that the simulation loop polls every
+    :data:`~repro.sim.deadline.CHECK_EVERY_TICKS` ticks."""
+    if not timeout:
         yield
+        return
+    use_signal = (hasattr(signal, "SIGALRM")
+                  and threading.current_thread() is threading.main_thread())
+    if not use_signal:
+        set_deadline(timeout)
+        try:
+            yield
+        except DeadlineExceeded as err:
+            raise CellTimeout(f"cell exceeded {timeout}s ({err})") from err
+        finally:
+            clear_deadline()
         return
 
     def _on_alarm(signum, frame):

@@ -61,6 +61,48 @@ void main() {
 """
 
 
+TWOCOUNTER_SRC = """
+struct counter { int value; }
+counter* A;
+counter* B;
+
+void setup() {
+  A = new counter;
+  B = new counter;
+}
+
+void incr_both() {
+  atomic {
+    int v = A->value;
+    nop(2);
+    int w = B->value;
+    nop(2);
+    A->value = v + 1;
+    B->value = w + 1;
+  }
+}
+
+int get_a() {
+  int r;
+  atomic { r = A->value; }
+  return r;
+}
+
+int get_b() {
+  int r;
+  atomic { r = B->value; }
+  return r;
+}
+
+void main() {
+  setup();
+  incr_both();
+  int a = get_a();
+  int b = get_b();
+}
+"""
+
+
 @dataclass(frozen=True)
 class DiffProgram:
     """One conformance workload: program + per-thread ops + observers."""
@@ -83,6 +125,14 @@ def _counter_ops(tid: int, n_ops: int) -> List[Op]:
 
 def _counter_observers(threads: int, n_ops: int) -> List[Op]:
     return [("get", ())]
+
+
+def _twocounter_ops(tid: int, n_ops: int) -> List[Op]:
+    return [("incr_both", ())] * n_ops
+
+
+def _twocounter_observers(threads: int, n_ops: int) -> List[Op]:
+    return [("get_a", ()), ("get_b", ())]
 
 
 def _keyed_ops(tag: str, put: str, get: str, remove: str,
@@ -121,6 +171,17 @@ DIFF_CORPUS: Dict[str, DiffProgram] = {
         source=COUNTER_SRC,
         make_thread_ops=_counter_ops,
         make_observers=_counter_observers,
+        heap_fp=True,
+    ),
+    "twocounter": DiffProgram(
+        # one atomic section over two independent cells: the sharpest
+        # deadlock seed — a thread acquiring them against the canonical
+        # order (the invert-order fault) interlocks with canonical
+        # acquirers almost immediately
+        name="twocounter",
+        source=TWOCOUNTER_SRC,
+        make_thread_ops=_twocounter_ops,
+        make_observers=_twocounter_observers,
         heap_fp=True,
     ),
     "hashtable": DiffProgram(

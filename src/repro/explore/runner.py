@@ -183,16 +183,36 @@ def run_schedule(
     ncores: int = 2,
     seed: Optional[int] = None,
     max_ticks: int = 5_000_000,
+    injector: Optional[FaultInjector] = None,
+    resilience=None,
+    livelock_window: Optional[int] = 50_000,
 ) -> Tuple[ScheduleRecord, World]:
-    """Run one schedule; never raises on anomalies — they are recorded."""
-    faults = FaultInjector(fault) if fault else None
+    """Run one schedule; never raises on anomalies — they are recorded.
+
+    *injector* passes a pre-configured :class:`FaultInjector` (section /
+    tid / occurrence / delay seeding) instead of the every-acquire
+    injector that the *fault* shorthand builds; *resilience* arms the
+    watchdog/recovery runtime with the given
+    :class:`~repro.runtime.resilience.ResilienceConfig`."""
+    if injector is not None:
+        faults = injector
+    elif fault == "invert-order":
+        # all-thread inversion is itself a consistent total order and
+        # never interlocks; the canary needs one thread out of step
+        faults = FaultInjector(fault, tid=0)
+    elif fault:
+        faults = FaultInjector(fault)
+    else:
+        faults = None
     race = RaceDetector() if (detector and config != "stm") else None
     world, mode = build_world_for_source(
         target.source, config, check=check, audit=audit, race=race,
-        faults=faults, setup=target.setup, k=k,
+        faults=faults, setup=target.setup, k=k, resilience=resilience,
     )
     policy.enable_trace()
-    scheduler = Scheduler(ncores=ncores, policy=policy, max_ticks=max_ticks)
+    scheduler = Scheduler(ncores=ncores, policy=policy, max_ticks=max_ticks,
+                          livelock_window=livelock_window,
+                          watchdog=world.watchdog)
     for tid, thread_ops in enumerate(target.schedule(threads, ops)):
         scheduler.spawn(ThreadExec(world, tid, mode=mode).run_ops(thread_ops))
     violations: List[str] = []

@@ -43,6 +43,11 @@ from ..runtime.api import ThreadLockState, acquire_all, plan_requests, release_a
 from ..runtime.faults import FaultInjector
 from ..runtime.modes import combine
 from ..runtime.manager import LockManager
+from ..runtime.resilience import (
+    ResilienceConfig,
+    ResilienceRuntime,
+    SectionAbort,
+)
 from ..stm.tl2 import TL2System, TL2Tx, TxAbort, backoff_ticks
 from .checker import ProtectionChecker, SerializabilityAuditor
 from .race import RaceDetector
@@ -65,6 +70,7 @@ class World:
         audit: bool = False,
         race: Optional["RaceDetector"] = None,
         faults: Optional["FaultInjector"] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         self.program = program
         self.heap = Heap()
@@ -82,7 +88,17 @@ class World:
         self.auditor = SerializabilityAuditor() if audit else None
         self.race = race  # dynamic race detector (locks mode only)
         self.faults = faults  # acquisition fault injector (negative tests)
+        self.resilience: Optional[ResilienceRuntime] = None
+        if resilience is not None:
+            self.resilience = ResilienceRuntime(resilience, self.lock_manager)
+            self.resilience.race = race
+            self.resilience.auditor = self.auditor
         self._scope_cache: Dict[Tuple[str, str], bool] = {}
+
+    @property
+    def watchdog(self):
+        """Per-tick scheduler hook, or None when resilience is off."""
+        return self.resilience.on_tick if self.resilience is not None else None
 
     def is_global_var(self, func_name: str, name: str) -> bool:
         key = (func_name, name)
@@ -135,8 +151,22 @@ class ThreadExec:
             return self.lock_state.nlevel > 0
         return self.atomic_depth > 0
 
+    def _check_abort(self) -> None:
+        """Raise :class:`SectionAbort` if the watchdog victimized us.
+
+        Called at every shared access inside an open locks-mode section,
+        so a revoked thread stops touching the heap promptly (its locks
+        are already gone; continuing would race the new holders)."""
+        runtime = self.world.resilience
+        if (runtime is not None and self.mode == "locks"
+                and self.lock_state.nlevel > 0
+                and runtime.abort_pending(self.tid)):
+            raise SectionAbort(runtime.abort_reason(self.tid))
+
     def shared_read(self, loc: Loc) -> Value:
         world = self.world
+        if loc.obj.shared:
+            self._check_abort()
         if self.tx is not None and loc.obj.shared:
             self.extra_cost += 3
             value = self.tx.read(loc)
@@ -156,6 +186,11 @@ class ThreadExec:
     def shared_write(self, loc: Loc, value: Value) -> None:
         world = self.world
         if loc.obj.shared and self.mode == "locks":
+            self._check_abort()
+            if (world.resilience is not None
+                    and self.lock_state.nlevel > 0):
+                # undo log: pre-image of the first write to each cell
+                world.resilience.record_write(self.tid, loc)
             if world.race is not None and loc.obj.fresh_owner != self.tid:
                 world.race.on_write(self.tid, loc, self.current_func,
                                     world.lock_manager.held_names(self.tid))
@@ -229,7 +264,22 @@ class ThreadExec:
     # ------------------------------------------------------------------
 
     def exec_instrs(self, instrs: List[ir.Instr], frame: Frame):
-        for instr in instrs:
+        index = 0
+        count = len(instrs)
+        while index < count:
+            instr = instrs[index]
+            if (isinstance(instr, ir.IAcquireAll) and self.mode == "locks"
+                    and self.world.resilience is not None
+                    and self.lock_state.nlevel == 0):
+                # outermost section with recovery: run the whole
+                # acquire/body/release span under the abort-retry loop
+                end = self._matching_release(instrs, index)
+                yield from self.exec_section_resilient(
+                    instr, instrs[index + 1:end], instrs[end], frame
+                )
+                index = end + 1
+                continue
+            index += 1
             if isinstance(instr, ir.IAssign):
                 yield from self.exec_assign(instr, frame)
             elif isinstance(instr, ir.IStore):
@@ -437,6 +487,58 @@ class ThreadExec:
                 self.tx_attempts_total += 1
                 yield backoff_ticks(attempts, self.tid)
 
+    @staticmethod
+    def _matching_release(instrs: List[ir.Instr], start: int) -> int:
+        """Index of the IReleaseAll matching the IAcquireAll at *start*.
+
+        The transform always splices an acquire/release pair into the same
+        instruction list, so a flat depth count over this list finds it
+        (nested sections inside if/while bodies live in sub-lists and are
+        invisible here; directly nested sections raise the depth)."""
+        depth = 0
+        for index in range(start, len(instrs)):
+            instr = instrs[index]
+            if isinstance(instr, ir.IAcquireAll):
+                depth += 1
+            elif isinstance(instr, ir.IReleaseAll):
+                depth -= 1
+                if depth == 0:
+                    return index
+        raise InterpError(
+            f"unmatched acquireAll at instruction {start}: no releaseAll "
+            "in the same block"
+        )
+
+    def exec_section_resilient(self, acq: ir.IAcquireAll,
+                               body: List[ir.Instr],
+                               rel: ir.IReleaseAll, frame: Frame):
+        """Run one outermost atomic section with abort-and-rollback.
+
+        On :class:`SectionAbort` (watchdog victimization) the heap undo
+        log was — or is now — applied by the runtime, the frame is
+        restored from a snapshot, and the section retries after backoff.
+        The validator forbids ``return`` inside atomic sections, so no
+        ``_Return`` can escape this span mid-section."""
+        runtime = self.world.resilience
+        while True:
+            snapshot = frame.snapshot()
+            try:
+                yield from self.exec_acquire(acq, frame)
+                yield from self.exec_instrs(body, frame)
+                yield from self.exec_release(rel)
+                return
+            except SectionAbort as abort:
+                # unwind interpreter-side section state (nested levels may
+                # have been open when the abort surfaced)
+                self.lock_state.nlevel = 0
+                self.instance = None
+                for obj in self._fresh_objs:
+                    obj.fresh_owner = None
+                self._fresh_objs.clear()
+                backoff = runtime.recover(self.tid, abort.reason)
+                frame.restore(snapshot)
+                yield backoff
+
     def exec_acquire(self, instr: ir.IAcquireAll, frame: Frame):
         if self.mode != "locks":
             # seq/stm runs of a transformed program: sections are not
@@ -453,15 +555,28 @@ class ThreadExec:
         def evaluate(lock):
             return self.eval_lock_term(frame, lock.term)
 
+        runtime = self.world.resilience
+        if runtime is not None:
+            runtime.section_enter(self.tid, instr.section_id)
         faults = self.world.faults
         inject = faults is not None and faults.arm(self.tid, instr.section_id)
         attempts = 0
         while True:
             plan = plan_requests(instr.locks, evaluate)
+            degraded = False
+            if runtime is not None:
+                demoted = runtime.plan_for(self.tid, instr.section_id, plan)
+                degraded = demoted != plan
+                plan = demoted
             if inject:
                 plan = faults.apply(plan)
             yield max(1, len(instr.locks))  # descriptor evaluation cost
-            yield from acquire_all(self.world.lock_manager, self.tid, plan)
+            yield from acquire_all(self.world.lock_manager, self.tid, plan,
+                                   runtime=runtime)
+            if degraded:
+                # the single global X lock protects everything; there are
+                # no fine-grain terms left to revalidate
+                break
             # Validate-and-retry: fine-grain descriptors were evaluated
             # before the locks were held, so a racing thread may have
             # redirected a pointer on the path meanwhile. Re-evaluate under
@@ -488,6 +603,8 @@ class ThreadExec:
             )
         if self.world.auditor is not None:
             self.instance = self.world.auditor.begin_instance(instr.section_id)
+        if runtime is not None:
+            runtime.bind_instance(self.tid, self.instance)
 
     def exec_release(self, instr: ir.IReleaseAll):
         if self.mode != "locks":
@@ -496,6 +613,23 @@ class ThreadExec:
             return
         state = self.lock_state
         if state.nlevel == 1:
+            runtime = self.world.resilience
+            faults = self.world.faults
+            action = (faults.take_release_action(self.tid)
+                      if faults is not None else None)
+            if action is not None and action[0] == "delay":
+                # stuck critical section: stall while holding the locks,
+                # in chunks so a watchdog revocation is noticed promptly
+                remaining = action[1]
+                while remaining > 0:
+                    step = min(remaining, 128)
+                    yield step
+                    remaining -= step
+                    if (runtime is not None
+                            and runtime.abort_pending(self.tid)):
+                        raise SectionAbort(runtime.abort_reason(self.tid))
+            if runtime is not None and runtime.abort_pending(self.tid):
+                raise SectionAbort(runtime.abort_reason(self.tid))
             for obj in self._fresh_objs:
                 obj.fresh_owner = None
             self._fresh_objs.clear()
@@ -507,8 +641,15 @@ class ThreadExec:
                     self.tid,
                     tuple(self.world.lock_manager.held_names(self.tid)),
                 )
-            yield from release_all(self.world.lock_manager, self.tid)
+            if action is not None and action[0] == "lose":
+                yield 1  # the release never reaches the lock manager
+            else:
+                yield from release_all(self.world.lock_manager, self.tid)
             self.instance = None
+            if runtime is not None:
+                # the section's writes are final (even under a lost
+                # release: the leaked locks are reclaimed, not rolled back)
+                runtime.section_committed(self.tid)
         else:
             yield 1
         state.nlevel -= 1

@@ -1,8 +1,24 @@
-"""Multi-granularity lock runtime (paper §5) and fault injection."""
+"""Multi-granularity lock runtime (paper §5), fault injection, and the
+resilience layer (watchdog, abort-and-rollback, graceful degradation)."""
 
 from .api import ThreadLockState, acquire_all, plan_requests, release_all
-from .faults import FAULT_KINDS, FaultInjector
+from .faults import (
+    ACQUIRE_FAULT_KINDS,
+    FAULT_KINDS,
+    RELEASE_FAULT_KINDS,
+    STALL_FAULT_KINDS,
+    FaultInjector,
+)
 from .manager import LockManager, LockNode, LockStats, ROOT, canonical_order
+from .resilience import (
+    ResilienceConfig,
+    ResilienceRuntime,
+    ResilienceStats,
+    SectionAbort,
+    VICTIM_POLICY_NAMES,
+    VictimPolicy,
+    make_victim_policy,
+)
 from .modes import (
     IS,
     IX,
@@ -21,6 +37,16 @@ from .modes import (
 __all__ = [
     "FaultInjector",
     "FAULT_KINDS",
+    "ACQUIRE_FAULT_KINDS",
+    "RELEASE_FAULT_KINDS",
+    "STALL_FAULT_KINDS",
+    "ResilienceConfig",
+    "ResilienceRuntime",
+    "ResilienceStats",
+    "SectionAbort",
+    "VictimPolicy",
+    "VICTIM_POLICY_NAMES",
+    "make_victim_policy",
     "LockManager",
     "LockNode",
     "LockStats",

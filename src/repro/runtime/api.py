@@ -69,15 +69,37 @@ def plan_requests(
 
 
 def acquire_all(manager: LockManager, tid: int,
-                ordered_requests: List[Tuple[object, str]]):
-    """Simulator coroutine acquiring the planned requests top-down in order."""
+                ordered_requests: List[Tuple[object, str]],
+                runtime=None):
+    """Simulator coroutine acquiring the planned requests top-down in order.
+
+    With a :class:`~repro.runtime.resilience.ResilienceRuntime` attached,
+    every lock wait doubles as an abort point: the watchdog flags the
+    thread, the wait predicate reports success so the scheduler unblocks
+    it, and the coroutine raises
+    :class:`~repro.runtime.resilience.SectionAbort` into the section's
+    retry loop instead of taking the node.
+    """
+    from .resilience import SectionAbort  # runtime import: avoid cycle
+
     manager.stats.acquires += 1
     for name, mode in ordered_requests:
         yield 1  # protocol work per node (the multi-grain overhead)
+        if runtime is not None and runtime.abort_pending(tid):
+            raise SectionAbort(runtime.abort_reason(tid))
         acquired = manager.try_acquire_node(tid, name, mode)
         if not acquired:
-            yield (TRY, lambda name=name, mode=mode:
-                   manager.try_acquire_node(tid, name, mode))
+            if runtime is None:
+                yield (TRY, lambda name=name, mode=mode:
+                       manager.try_acquire_node(tid, name, mode))
+            else:
+                # abort check first: after a watchdog revocation the
+                # victim must not re-enter the grant queue
+                yield (TRY, lambda name=name, mode=mode:
+                       runtime.abort_pending(tid)
+                       or manager.try_acquire_node(tid, name, mode))
+                if runtime.abort_pending(tid):
+                    raise SectionAbort(runtime.abort_reason(tid))
 
 
 def release_all(manager: LockManager, tid: int):

@@ -1,0 +1,49 @@
+"""Cooperative wall-clock deadlines for simulation loops.
+
+``SIGALRM`` — the executor's per-cell timeout mechanism — is silently
+inert when the cell runs off the main thread (``signal.signal`` raises
+there) or on platforms without the signal at all. This module is the
+fallback: the caller arms a monotonic deadline for the *current thread*,
+and :class:`~repro.sim.scheduler.Scheduler` polls :func:`check_deadline`
+every few thousand ticks, raising :class:`DeadlineExceeded` from inside
+the simulation loop. Thread-local storage keeps concurrent inline
+executors independent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+CHECK_EVERY_TICKS = 1024  # scheduler polling period
+
+_local = threading.local()
+
+
+class DeadlineExceeded(Exception):
+    """The armed wall-clock budget for this thread ran out."""
+
+
+def set_deadline(seconds: float) -> None:
+    """Arm a deadline *seconds* from now for the calling thread."""
+    _local.deadline = time.monotonic() + seconds
+
+
+def clear_deadline() -> None:
+    """Disarm the calling thread's deadline."""
+    _local.deadline = None
+
+
+def current_deadline() -> Optional[float]:
+    return getattr(_local, "deadline", None)
+
+
+def check_deadline() -> None:
+    """Raise :class:`DeadlineExceeded` if the armed deadline has passed."""
+    deadline = getattr(_local, "deadline", None)
+    if deadline is not None and time.monotonic() > deadline:
+        raise DeadlineExceeded(
+            f"wall-clock deadline exceeded by "
+            f"{time.monotonic() - deadline:.3f}s"
+        )

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, List, Optional, Tuple
 
+from .deadline import CHECK_EVERY_TICKS, check_deadline
 from .policy import RoundRobinPolicy, SchedulingPolicy
 
 WORK = "work"
@@ -110,11 +111,16 @@ class SimThread:
 class Scheduler:
     def __init__(self, ncores: int = 8, max_ticks: int = 100_000_000,
                  policy: Optional[SchedulingPolicy] = None,
-                 livelock_window: Optional[int] = 50_000) -> None:
+                 livelock_window: Optional[int] = 50_000,
+                 watchdog: Optional[Callable[["Scheduler"], None]] = None) -> None:
         self.ncores = ncores
         self.max_ticks = max_ticks
         self.policy = policy if policy is not None else RoundRobinPolicy()
         self.livelock_window = livelock_window
+        # per-tick hook (the resilience runtime's deadlock/lease watchdog);
+        # called again right before a DeadlockError would be raised, so it
+        # can break the cycle by aborting a victim
+        self.watchdog = watchdog
         self.threads: List[SimThread] = []
         self.stats = SimStats(ncores=ncores)
         self._block_counter = 0
@@ -189,6 +195,10 @@ class Scheduler:
                 raise RuntimeError(
                     f"simulation exceeded {self.max_ticks} ticks (livelock?)"
                 )
+            if self.stats.ticks % CHECK_EVERY_TICKS == 0:
+                check_deadline()
+            if self.watchdog is not None:
+                self.watchdog(self)
             # 1. wake blocked threads whose predicates now succeed (FIFO)
             blocked = sorted(
                 (t for t in unfinished if t.state == "blocked"),
@@ -205,6 +215,23 @@ class Scheduler:
             runnable = [t for t in unfinished if t.state == "runnable"]
             if not runnable:
                 if blocked:
+                    if self.watchdog is not None:
+                        # emergency scan: the watchdog may abort a victim,
+                        # whose wait predicate then reports success (the
+                        # abort flag) and unblocks it into its retry loop
+                        self.watchdog(self)
+                        for thread in blocked:
+                            if (thread.state == "blocked"
+                                    and thread.try_fn is not None
+                                    and thread.try_fn()):
+                                thread.state = "runnable"
+                                thread.try_fn = None
+                                thread.fetch()
+                        runnable = [t for t in unfinished
+                                    if t.state == "runnable"]
+                        if runnable:
+                            self._stall = 0
+                            continue
                     raise DeadlockError(
                         "all threads blocked: "
                         + ", ".join(repr(t) for t in blocked)
@@ -247,10 +274,13 @@ class Scheduler:
 
 def run_threads(generators: List[Generator], ncores: int = 8,
                 policy: Optional[SchedulingPolicy] = None,
-                livelock_window: Optional[int] = 50_000) -> SimStats:
+                livelock_window: Optional[int] = 50_000,
+                watchdog: Optional[Callable[["Scheduler"], None]] = None,
+                ) -> SimStats:
     """Convenience: run *generators* to completion; return the statistics."""
     scheduler = Scheduler(ncores=ncores, policy=policy,
-                          livelock_window=livelock_window)
+                          livelock_window=livelock_window,
+                          watchdog=watchdog)
     for gen in generators:
         scheduler.spawn(gen)
     return scheduler.run()

@@ -114,6 +114,30 @@ def test_timeout_produces_error_row_not_sweep_abort(tmp_path):
     assert log[-1]["errors"] == len(SMALL_GRID)
 
 
+def test_timeout_enforced_off_main_thread(tmp_path):
+    """SIGALRM cannot be armed off the main thread (signal.signal raises
+    there), which used to leave threaded callers with no per-cell budget
+    at all; the cooperative monotonic-deadline fallback must kick in and
+    produce the same CellTimeout error rows."""
+    import threading
+
+    box = {}
+
+    def run():
+        box["results"] = run_cells(
+            SMALL_GRID[:1],
+            opts(tmp_path, cell_timeout=1e-4, max_attempts=1, jobs=1),
+        )
+
+    worker = threading.Thread(target=run)
+    worker.start()
+    worker.join()
+    results = box["results"]
+    assert len(results) == 1
+    assert not results[0].ok
+    assert results[0].error == "CellTimeout"
+
+
 def test_unknown_benchmark_is_error_row(tmp_path):
     cells = [Cell(bench="no-such-bench", config="global"), SMALL_GRID[0]]
     results = run_cells(cells, opts(tmp_path))

@@ -11,7 +11,8 @@ import pytest
 
 from repro.explore import explore_program
 from repro.explore.runner import resolve_target, run_schedule
-from repro.runtime.faults import FAULT_KINDS, FaultInjector
+from repro.runtime.faults import (ACQUIRE_FAULT_KINDS, FAULT_KINDS,
+                                  RELEASE_FAULT_KINDS, FaultInjector)
 from repro.sim import make_policy
 
 K_VALUES = (0, 1, 9)
@@ -21,8 +22,23 @@ K_VALUES = (0, 1, 9)
 
 
 def test_fault_kinds_registered():
-    assert set(FAULT_KINDS) == {"drop-acquire", "drop-node",
-                                "weaken-acquire"}
+    assert set(ACQUIRE_FAULT_KINDS) == {"drop-acquire", "drop-node",
+                                        "weaken-acquire", "invert-order"}
+    assert set(RELEASE_FAULT_KINDS) == {"delayed-release", "lost-release"}
+    assert set(FAULT_KINDS) == set(ACQUIRE_FAULT_KINDS) | set(
+        RELEASE_FAULT_KINDS)
+
+
+def test_occurrence_streams_are_per_section_and_tid():
+    # a shared counter would let the schedule pick which thread draws the
+    # fault; each (section, tid) stream must count independently
+    injector = FaultInjector("drop-acquire", occurrence=1)
+    assert not injector.arm(0, "s#1")  # stream (s#1, 0) index 0
+    assert not injector.arm(1, "s#1")  # stream (s#1, 1) index 0
+    assert injector.arm(0, "s#1")      # stream (s#1, 0) index 1: fires
+    assert injector.arm(1, "s#1")      # stream (s#1, 1) index 1: fires too
+    assert not injector.arm(0, "s#2")  # a different section: fresh stream
+    assert injector.fired == [(0, "s#1"), (1, "s#1")]
 
 
 def test_unknown_fault_kind_rejected():
@@ -63,11 +79,15 @@ def test_weaken_acquire_downgrades_modes():
     assert [mode for _, mode in plan] == [S, S, IS, S]
 
 
-# -- ProtectionChecker catches every fault kind, at every k ------------------
+# -- ProtectionChecker catches every protection-weakening kind, at every k ---
+# (invert-order and the release kinds keep protection intact; their canaries
+# are DeadlockError / LivelockError, exercised by the chaos tests)
+
+PROTECTION_FAULT_KINDS = ("drop-acquire", "drop-node", "weaken-acquire")
 
 
 @pytest.mark.parametrize("k", K_VALUES)
-@pytest.mark.parametrize("kind", FAULT_KINDS)
+@pytest.mark.parametrize("kind", PROTECTION_FAULT_KINDS)
 def test_protection_checker_catches_fault(kind, k):
     report = explore_program(
         "counter", policy="random", seed=0, schedules=5, threads=3, ops=3,

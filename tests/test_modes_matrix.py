@@ -1,0 +1,138 @@
+"""The full multi-granularity mode algebra vs. the paper's §5.1 table.
+
+Exhaustive checks of ``modes.compatible`` (the Figure 6(b) / Gray et al.
+compatibility matrix, all 25 pairs spelled out) and ``modes.combine``
+(the mode-lattice join: commutative, associative, idempotent, a true
+least upper bound, and monotone in grant strength — all 125 triples).
+"""
+
+import itertools
+
+import pytest
+
+from repro.runtime.modes import (
+    IS,
+    IX,
+    MODES,
+    S,
+    SIX,
+    X,
+    combine,
+    compatible,
+    grants_read,
+    grants_write,
+)
+
+# paper §5.1 / Figure 6(b), row-holder x column-requester; every cell
+EXPECTED_COMPAT = {
+    IS:  {IS: True,  IX: True,  S: True,  SIX: True,  X: False},
+    IX:  {IS: True,  IX: True,  S: False, SIX: False, X: False},
+    S:   {IS: True,  IX: False, S: True,  SIX: False, X: False},
+    SIX: {IS: True,  IX: False, S: False, SIX: False, X: False},
+    X:   {IS: False, IX: False, S: False, SIX: False, X: False},
+}
+
+# the lattice: IS below everything, IX and S incomparable, SIX above
+# both, X on top
+LATTICE_LEQ = {
+    (a, b): leq
+    for a in MODES
+    for b in MODES
+    for leq in [
+        a == b
+        or a == IS
+        or b == X
+        or (a in (IX, S) and b == SIX)
+    ]
+}
+
+
+@pytest.mark.parametrize("held", MODES)
+@pytest.mark.parametrize("requested", MODES)
+def test_compatibility_matches_paper_table(held, requested):
+    assert compatible(held, requested) == EXPECTED_COMPAT[held][requested]
+
+
+def test_compatibility_is_symmetric():
+    for a, b in itertools.product(MODES, repeat=2):
+        assert compatible(a, b) == compatible(b, a)
+
+
+def test_is_compatible_with_everything_but_x():
+    for mode in MODES:
+        assert compatible(IS, mode) == (mode != X)
+
+
+def test_x_compatible_with_nothing():
+    for mode in MODES:
+        assert not compatible(X, mode)
+
+
+# -- combine: the join of the mode lattice -----------------------------------
+
+
+def test_combine_identity_and_idempotence():
+    for mode in MODES:
+        assert combine(None, mode) == mode
+        assert combine(mode, mode) == mode
+
+
+def test_combine_commutative():
+    for a, b in itertools.product(MODES, repeat=2):
+        assert combine(a, b) == combine(b, a)
+
+
+def test_combine_associative():
+    for a, b, c in itertools.product(MODES, repeat=3):
+        assert combine(combine(a, b), c) == combine(a, combine(b, c))
+
+
+def test_combine_is_least_upper_bound():
+    """combine(a, b) must be the smallest mode above both a and b."""
+    for a, b in itertools.product(MODES, repeat=2):
+        join = combine(a, b)
+        assert LATTICE_LEQ[(a, join)], f"{join} not above {a}"
+        assert LATTICE_LEQ[(b, join)], f"{join} not above {b}"
+        for upper in MODES:
+            if LATTICE_LEQ[(a, upper)] and LATTICE_LEQ[(b, upper)]:
+                assert LATTICE_LEQ[(join, upper)], (
+                    f"combine({a},{b})={join} is not least: {upper} is a "
+                    f"smaller upper bound"
+                )
+
+
+def test_combine_specific_joins():
+    assert combine(IS, IX) == IX
+    assert combine(IS, S) == S
+    assert combine(IX, S) == SIX  # the defining SIX case
+    assert combine(IX, SIX) == SIX
+    assert combine(S, SIX) == SIX
+    assert combine(IS, SIX) == SIX
+    for mode in MODES:
+        assert combine(mode, X) == X
+
+
+def test_combine_monotone_in_grant_strength():
+    """Joining can only add permissions, never remove them: whatever a
+    grants, combine(a, b) grants too (for reads and writes alike)."""
+    for a, b in itertools.product(MODES, repeat=2):
+        join = combine(a, b)
+        if grants_read(a) or grants_read(b):
+            assert grants_read(join)
+        if grants_write(a) or grants_write(b):
+            assert grants_write(join)
+
+
+def test_combine_monotone_in_compatibility():
+    """Strengthening a held mode can only shrink what stays compatible:
+    anything compatible with combine(a, b) is compatible with a alone."""
+    for a, b, other in itertools.product(MODES, repeat=3):
+        join = combine(a, b)
+        if compatible(join, other):
+            assert compatible(a, other)
+            assert compatible(b, other)
+
+
+def test_grant_predicates():
+    assert [grants_read(m) for m in MODES] == [False, False, True, True, True]
+    assert [grants_write(m) for m in MODES] == [False] * 4 + [True]
