@@ -1,21 +1,40 @@
 """Analysis-speed benchmark: the Table 1 k=9 column as a perf trajectory.
 
 Times the whole-program lock inference at k=9 over the Table 1 corpus (the
-synthetic SPEC rows at ``SPEC_SCALE`` plus the STAMP programs) and writes
-``BENCH_analysis.json`` at the repo root: per-program wall times, aggregate
-solver counters from the :class:`~repro.inference.AnalysisProfile`, and the
-speedup against the recorded seed-engine baseline. Future PRs re-run this
-after touching the analysis path and commit the refreshed JSON, so the
-file's git history is the perf trajectory.
+synthetic SPEC rows at ``SPEC_SCALE`` plus the STAMP programs) in three
+modes and writes ``BENCH_analysis.json`` at the repo root:
 
-Run standalone (``python benchmarks/bench_analysis_speed.py [--quick]``,
-``--quick`` = STAMP-only CI smoke) or under pytest
-(``pytest benchmarks/bench_analysis_speed.py``).
+* **cold** — serial, no disk cache: the engine's baseline path and the
+  number the regression gate tracks (``total_wall_s``);
+* **parallel** — cold with ``LockInference(jobs=PARALLEL_JOBS)`` into a
+  fresh disk cache: summaries are solved bottom-up over the call-graph
+  condensation, heavy SCC levels fanning out across worker processes.
+  The worker count is clamped to the CPUs actually available
+  (``jobs_effective`` in the JSON) — on a single-core runner the
+  scheduler degrades to the serial bottom-up order, which still beats
+  the lazy path by never re-running a summary;
+* **warm** — serial rerun against the cache the parallel pass filled: the
+  front half loads pickled, sections come straight from the section
+  store, the dataflow never runs.
+
+The JSON carries per-program walls for all three modes plus aggregate
+solver counters (hit rates computed from summed hits/lookups, never a
+mean of per-program rates). Future PRs re-run this after touching the
+analysis path and commit the refreshed JSON, so the file's git history is
+the perf trajectory; ``--check-baseline`` compares a fresh cold run
+against the committed JSON and fails on a >25% regression (the CI
+analysis-speed job runs it).
+
+Run standalone (``python benchmarks/bench_analysis_speed.py [--quick]
+[--jobs N] [--check-baseline]``, ``--quick`` = STAMP-only CI smoke) or
+under pytest (``pytest benchmarks/bench_analysis_speed.py``).
 """
 
 import json
 import os
+import shutil
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.dirname(__file__))
@@ -24,15 +43,27 @@ from conftest import emit_report  # noqa: E402
 from repro.bench.configs import STAMP_BENCHMARKS  # noqa: E402
 from repro.bench.programs.spec import spec_sources  # noqa: E402
 from repro.inference import LockInference  # noqa: E402
+from repro.inference.schedule import effective_jobs  # noqa: E402
 
 SPEC_SCALE = 0.05  # matches bench_table1_analysis_time.py
+PARALLEL_JOBS = 4
 
 # Seed-engine wall clock for the full corpus at k=9 (sum of per-program
 # analysis times, same machine class), measured at the commit introducing
 # the performance layer. The acceptance bar for that layer was >= 2x.
 SEED_TOTAL_S = 10.74
 
+# --check-baseline tolerance: fail if a fresh cold run is slower than the
+# committed total by more than this factor.
+REGRESSION_FACTOR = 1.25
+
 JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_analysis.json")
+
+AGGREGATE_KEYS = (
+    "dataflow_steps", "summary_runs", "transfer_cache_hits",
+    "transfer_cache_misses", "transfer_cache_stale", "summaries_from_disk",
+    "sections_from_disk",
+)
 
 
 def corpus(quick: bool = False):
@@ -42,19 +73,42 @@ def corpus(quick: bool = False):
     return sources
 
 
-def measure(quick: bool = False):
+def _sweep(sources, jobs=1, cache_dir=None):
+    """One pass over the corpus; returns (per-program rows, total wall)."""
     rows = {}
     total = 0.0
-    aggregate = {"dataflow_steps": 0, "summary_runs": 0,
-                 "transfer_cache_hits": 0, "transfer_cache_misses": 0}
-    for name, source in sorted(corpus(quick).items()):
+    for name, source in sorted(sources.items()):
         started = time.perf_counter()
-        result = LockInference(source, k=9).run()
+        result = LockInference(source, k=9, jobs=jobs,
+                               cache_dir=cache_dir).run()
         elapsed = time.perf_counter() - started
         total += elapsed
-        profile = result.profile
+        rows[name] = (elapsed, result.profile)
+    return rows, total
+
+
+def measure(quick: bool = False, jobs: int = PARALLEL_JOBS):
+    sources = corpus(quick)
+    cache_root = tempfile.mkdtemp(prefix="bench-analysis-cache-")
+    try:
+        cold_rows, cold_total = _sweep(sources)
+        par_rows, par_total = _sweep(sources, jobs=jobs,
+                                     cache_dir=cache_root)
+        warm_rows, warm_total = _sweep(sources, cache_dir=cache_root)
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    rows = {}
+    aggregate = {key: 0 for key in AGGREGATE_KEYS}
+    warm_aggregate = {key: 0 for key in AGGREGATE_KEYS}
+    for name in sorted(sources):
+        cold_s, profile = cold_rows[name]
+        par_s, _ = par_rows[name]
+        warm_s, warm_profile = warm_rows[name]
         rows[name] = {
-            "wall_s": round(elapsed, 4),
+            "wall_s": round(cold_s, 4),
+            "parallel_s": round(par_s, 4),
+            "warm_s": round(warm_s, 4),
             "pointer_s": round(profile.pointer_time, 4),
             "dataflow_s": round(profile.dataflow_time, 4),
             "sections": profile.sections,
@@ -62,30 +116,54 @@ def measure(quick: bool = False):
             "transfer_cache_hit_rate": round(
                 profile.transfer_cache_hit_rate, 3),
         }
-        for key in aggregate:
+        for key in AGGREGATE_KEYS:
             aggregate[key] += getattr(profile, key)
+            warm_aggregate[key] += getattr(warm_profile, key)
+    lookups = (aggregate["transfer_cache_hits"]
+               + aggregate["transfer_cache_misses"])
+    aggregate["transfer_cache_hit_rate"] = round(
+        aggregate["transfer_cache_hits"] / lookups, 4) if lookups else 0.0
     return {
         "benchmark": "table1-k9-column",
         "quick": quick,
         "k": 9,
         "spec_scale": SPEC_SCALE,
+        "jobs": jobs,
+        "jobs_effective": effective_jobs(jobs),
         "programs": rows,
-        "total_wall_s": round(total, 3),
+        "total_wall_s": round(cold_total, 3),
+        "parallel_wall_s": round(par_total, 3),
+        "warm_wall_s": round(warm_total, 3),
+        "parallel_speedup": round(cold_total / par_total, 2),
+        "warm_speedup": round(cold_total / warm_total, 2),
         "seed_total_wall_s": SEED_TOTAL_S if not quick else None,
-        "speedup_vs_seed": round(SEED_TOTAL_S / total, 2) if not quick else None,
+        "speedup_vs_seed": (round(SEED_TOTAL_S / cold_total, 2)
+                            if not quick else None),
         "aggregate": aggregate,
+        "warm_aggregate": warm_aggregate,
     }
 
 
 def render(report) -> str:
-    lines = [f"{'Program':12s} {'wall (s)':>9s} {'sections':>9s} "
-             f"{'steps':>9s} {'cache hit':>10s}"]
+    lines = [f"{'Program':12s} {'cold (s)':>9s} {'par (s)':>9s} "
+             f"{'warm (s)':>9s} {'sections':>9s} {'steps':>9s} "
+             f"{'cache hit':>10s}"]
     for name, row in sorted(report["programs"].items()):
         lines.append(
-            f"{name:12s} {row['wall_s']:9.3f} {row['sections']:9d} "
+            f"{name:12s} {row['wall_s']:9.3f} {row['parallel_s']:9.3f} "
+            f"{row['warm_s']:9.3f} {row['sections']:9d} "
             f"{row['dataflow_steps']:9d} {row['transfer_cache_hit_rate']:10.1%}"
         )
-    lines.append(f"{'TOTAL':12s} {report['total_wall_s']:9.3f}")
+    lines.append(
+        f"{'TOTAL':12s} {report['total_wall_s']:9.3f} "
+        f"{report['parallel_wall_s']:9.3f} {report['warm_wall_s']:9.3f}"
+    )
+    lines.append(
+        f"parallel (jobs={report['jobs']}, "
+        f"effective {report['jobs_effective']}): "
+        f"{report['parallel_speedup']:.2f}x vs cold; "
+        f"warm disk cache: {report['warm_speedup']:.2f}x vs cold"
+    )
     if report["speedup_vs_seed"] is not None:
         lines.append(
             f"seed engine baseline {report['seed_total_wall_s']:.2f}s "
@@ -102,11 +180,35 @@ def write_json(report) -> str:
     return path
 
 
+def check_baseline(report, path=None) -> bool:
+    """Compare a fresh cold total against the committed BENCH_analysis.json.
+
+    Returns True when within ``REGRESSION_FACTOR``; missing/invalid
+    baselines pass (first run on a branch that never committed one).
+    """
+    path = os.path.abspath(path or JSON_PATH)
+    try:
+        with open(path) as handle:
+            committed = json.load(handle)
+        baseline = float(committed["total_wall_s"])
+    except (OSError, ValueError, KeyError):
+        print(f"no committed baseline at {path}; skipping the gate")
+        return True
+    fresh = report["total_wall_s"]
+    limit = baseline * REGRESSION_FACTOR
+    verdict = "OK" if fresh <= limit else "REGRESSION"
+    print(f"baseline gate: cold {fresh:.3f}s vs committed {baseline:.3f}s "
+          f"(limit {limit:.3f}s) -> {verdict}")
+    return fresh <= limit
+
+
 def test_analysis_speed(benchmark):
     benchmark.group = "analysis-speed"
 
     report = benchmark.pedantic(measure, rounds=1, iterations=1)
     benchmark.extra_info["total_wall_s"] = report["total_wall_s"]
+    benchmark.extra_info["parallel_wall_s"] = report["parallel_wall_s"]
+    benchmark.extra_info["warm_wall_s"] = report["warm_wall_s"]
     benchmark.extra_info["speedup_vs_seed"] = report["speedup_vs_seed"]
     write_json(report)
     emit_report(
@@ -117,16 +219,27 @@ def test_analysis_speed(benchmark):
     assert report["programs"]
     # the optimized engine must hold the PR's acceptance bar with margin
     assert report["total_wall_s"] < SEED_TOTAL_S
+    # a warm rerun of an unchanged corpus must skip the dataflow outright
+    assert report["warm_aggregate"]["dataflow_steps"] == 0
+    assert report["warm_wall_s"] < report["total_wall_s"]
 
 
 def main(argv=None) -> int:
-    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
-    report = measure(quick=quick)
+    argv = list(argv if argv is not None else sys.argv[1:])
+    quick = "--quick" in argv
+    gate = "--check-baseline" in argv
+    jobs = PARALLEL_JOBS
+    if "--jobs" in argv:
+        jobs = int(argv[argv.index("--jobs") + 1])
+    report = measure(quick=quick, jobs=jobs)
     print(render(report))
-    if not quick:
+    ok = True
+    if gate:
+        ok = check_baseline(report)
+    if not quick and not gate:
         path = write_json(report)
         print(f"wrote {path}")
-    return 0
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -162,7 +162,10 @@ def _key_for(cell: Cell) -> Optional[str]:
 
 
 def _cache_path(cache_dir: str, key: str) -> str:
-    return os.path.join(cache_dir, f"{key}.json")
+    # experiment cells live under their own namespace so the analysis disk
+    # cache (inference.diskcache, ``<cache_dir>/analysis/``) can share one
+    # ``--cache-dir`` root without key collisions
+    return os.path.join(cache_dir, "cells", f"{key}.json")
 
 
 def _cache_load(cache_dir: str, key: str) -> Optional[Dict[str, object]]:
@@ -178,8 +181,8 @@ def _cache_load(cache_dir: str, key: str) -> Optional[Dict[str, object]]:
 
 def _cache_store(cache_dir: str, key: str, cell: Cell,
                  result: RunResult, duration_s: float) -> None:
-    os.makedirs(cache_dir, exist_ok=True)
     path = _cache_path(cache_dir, key)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
     tmp = path + ".tmp"
     with open(tmp, "w") as handle:
         json.dump({

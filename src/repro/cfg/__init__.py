@@ -1,6 +1,26 @@
 """Control-flow graph construction over the lowered IR."""
 
 from .build import build_cfg, build_cfgs
+from .callgraph import (
+    CallSchedule,
+    build_schedule,
+    call_graph,
+    cone_hashes,
+    function_text,
+    tarjan_sccs,
+)
 from .graph import CFG, Node, SectionInfo
 
-__all__ = ["CFG", "Node", "SectionInfo", "build_cfg", "build_cfgs"]
+__all__ = [
+    "CFG",
+    "Node",
+    "SectionInfo",
+    "build_cfg",
+    "build_cfgs",
+    "CallSchedule",
+    "build_schedule",
+    "call_graph",
+    "cone_hashes",
+    "function_text",
+    "tarjan_sccs",
+]

@@ -111,3 +111,37 @@ class CFG:
         order = self.reverse_postorder()
         order.reverse()
         return order
+
+    def backward_order(self) -> Dict[int, int]:
+        """Priority index for backward dataflow: uid → worklist rank.
+
+        Reverse postorder of the *reversed* CFG from the exit node, so the
+        exit ranks first and every node ranks before its predecessors
+        wherever the (reversed) graph is acyclic.  A backward worklist that
+        always pops the lowest rank propagates exit-side facts in one pass
+        per loop nest instead of rediscovering them uid by uid; nodes that
+        cannot reach the exit (infinite loops) keep their relative uid
+        order after all reachable nodes.
+        """
+        seen: Set[int] = set()
+        order: List[Node] = []
+        stack: List = [(self.exit, iter(self.exit.preds))]
+        seen.add(self.exit.uid)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for pred in it:
+                if pred.uid not in seen:
+                    seen.add(pred.uid)
+                    stack.append((pred, iter(pred.preds)))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+        order.reverse()
+        rank = {node.uid: index for index, node in enumerate(order)}
+        for node in self.nodes:
+            if node.uid not in rank:
+                rank[node.uid] = len(rank)
+        return rank

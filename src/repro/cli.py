@@ -2,10 +2,15 @@
 
 Commands:
 
-* ``analyze <file.mc> [--k K] [--no-effects] [--profile]`` — print the
-  inferred locks per atomic section and the Figure 7-style classification
-  counts; ``--profile`` appends the AnalysisProfile (phase timers, solver
-  counters, transfer-cache hit rates, intern-table sizes);
+* ``analyze <file.mc> [--k K] [--no-effects] [--jobs N] [--cache-dir D]
+  [--no-disk-cache] [--profile]`` — print the inferred locks per atomic
+  section and the Figure 7-style classification counts; ``--jobs`` fans
+  independent call-graph SCCs out across worker processes, the persistent
+  analysis cache (on by default, rooted next to the bench result cache)
+  makes warm reruns of an unchanged file skip the dataflow outright;
+  ``--profile`` appends the AnalysisProfile (phase timers, per-SCC
+  timings, solver counters, transfer-cache and disk-cache hit rates,
+  intern-table sizes);
 * ``transform <file.mc> [--k K]`` — print the transformed (acquireAll /
   releaseAll) program;
 * ``run <bench> --config CFG [--threads N] [--ops N] [--setting S]`` —
@@ -50,8 +55,15 @@ def _read_source(path: str) -> str:
 def cmd_analyze(args: argparse.Namespace) -> int:
     source = _read_source(args.file)
     validate_program(parse_program(source))
+    if args.no_disk_cache:
+        cache_dir = None
+    else:
+        from .bench.executor import DEFAULT_CACHE_DIR
+
+        cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
     result = LockInference(source, k=args.k,
-                           use_effects=not args.no_effects).run()
+                           use_effects=not args.no_effects,
+                           jobs=args.jobs, cache_dir=cache_dir).run()
     print(result.describe())
     counts = result.lock_counts()
     print(
@@ -343,6 +355,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--k", type=int, default=9)
     p.add_argument("--no-effects", action="store_true")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="solve independent call-graph SCCs across N worker "
+                        "processes (default 1: serial, bit-identical)")
+    p.add_argument("--cache-dir", default=None,
+                   help="root of the persistent analysis cache (default "
+                        "benchmarks/results/cache; shared with the bench "
+                        "executor's cell cache, separate namespaces)")
+    p.add_argument("--no-disk-cache", action="store_true",
+                   help="disable the persistent cross-run analysis cache")
     p.add_argument("--profile", action="store_true",
                    help="print the AnalysisProfile (phase timers, solver "
                         "counters, cache hit rates)")

@@ -9,8 +9,10 @@ from .analysis import (
     infer_locks,
     shared_analysis,
 )
+from .diskcache import AnalysisDiskCache, analysis_salt, open_cache
 from .engine import Engine, SectionLocks, SummaryResult
 from .libspec import ExternalSpec, SpecLibrary, reachable_classes
+from .schedule import PrecomputeReport, precompute_summaries
 from .transform import (
     transform_global,
     transform_program,
@@ -28,6 +30,11 @@ __all__ = [
     "Engine",
     "SectionLocks",
     "SummaryResult",
+    "AnalysisDiskCache",
+    "analysis_salt",
+    "open_cache",
+    "PrecomputeReport",
+    "precompute_summaries",
     "ExternalSpec",
     "SpecLibrary",
     "reachable_classes",

@@ -22,14 +22,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
-from ..cfg import CFG, build_cfgs
+from ..cfg import CFG, build_cfgs, build_schedule
 from ..lang import ast, ir, lower_program, parse_program
 from ..locks.effects import RO, RW
 from ..locks.paperlock import Lock
 from ..locks.terms import interning_stats
 from ..pointer.steensgaard import PointsTo
+from . import diskcache
 from .engine import Engine, SectionLocks
 from .libspec import SpecLibrary
+from .schedule import precompute_summaries
 
 
 @dataclass
@@ -88,21 +90,34 @@ class AnalysisProfile:
 
     k: int = 0
     use_effects: bool = True
+    jobs: int = 1
     front_time: float = 0.0
     front_shared: bool = False
+    front_from_disk: bool = False
     pointer_time: float = 0.0
+    schedule_time: float = 0.0
     dataflow_time: float = 0.0
+    cache_io_time: float = 0.0
     sections: int = 0
     dataflow_steps: int = 0
     summary_runs: int = 0
     section_reruns: int = 0
     transfer_cache_hits: int = 0
     transfer_cache_misses: int = 0
+    transfer_cache_stale: int = 0
+    summaries_from_disk: int = 0
+    sections_from_disk: int = 0
+    scc_count: int = 0
+    level_count: int = 0
+    sccs_run: int = 0
+    level_times: List[float] = field(default_factory=list)
+    scc_times: Dict[str, float] = field(default_factory=dict)
     interned_terms: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_time(self) -> float:
-        return self.front_time + self.pointer_time + self.dataflow_time
+        return (self.front_time + self.pointer_time + self.schedule_time
+                + self.dataflow_time + self.cache_io_time)
 
     @property
     def transfer_cache_hit_rate(self) -> float:
@@ -111,29 +126,57 @@ class AnalysisProfile:
 
     def describe(self) -> str:
         shared = " (shared)" if self.front_shared else ""
+        if self.front_from_disk:
+            shared = " (disk)"
         interned = sum(self.interned_terms.values())
-        return "\n".join([
-            f"profile (k={self.k}, effects={'on' if self.use_effects else 'off'}):",
+        lines = [
+            f"profile (k={self.k}, effects={'on' if self.use_effects else 'off'},"
+            f" jobs={self.jobs}):",
             f"  front (parse+lower+cfg): {self.front_time:.3f}s{shared}",
             f"  pointer analysis:        {self.pointer_time:.3f}s",
+        ]
+        if self.schedule_time or self.scc_count:
+            lines.append(
+                f"  scc condensation:        {self.schedule_time:.3f}s"
+                f" ({self.scc_count} sccs, {self.level_count} levels)")
+        lines.extend([
             f"  dataflow:                {self.dataflow_time:.3f}s",
             f"  sections analyzed:       {self.sections}",
             f"  dataflow steps:          {self.dataflow_steps}"
             f" (+{self.transfer_cache_hits} cached,"
-            f" {self.transfer_cache_hit_rate:.0%} hit rate)",
+            f" {self.transfer_cache_hit_rate:.0%} hit rate,"
+            f" {self.transfer_cache_stale} stale)",
             f"  summary runs:            {self.summary_runs}",
             f"  section reruns:          {self.section_reruns}",
-            f"  interned terms:          {interned}",
         ])
+        if self.cache_io_time or self.summaries_from_disk or self.sections_from_disk:
+            lines.append(
+                f"  disk cache:              {self.cache_io_time:.3f}s io,"
+                f" {self.summaries_from_disk} summaries,"
+                f" {self.sections_from_disk} sections loaded")
+        if self.sccs_run:
+            lines.append(
+                f"  sccs solved up front:    {self.sccs_run}"
+                f" over {len(self.level_times)} levels")
+            slowest = sorted(self.scc_times.items(),
+                             key=lambda item: -item[1])[:5]
+            for name, elapsed in slowest:
+                lines.append(f"    {name}: {elapsed:.3f}s")
+        lines.append(f"  interned terms:          {interned}")
+        return "\n".join(lines)
 
     def as_dict(self) -> Dict[str, object]:
         return {
             "k": self.k,
             "use_effects": self.use_effects,
+            "jobs": self.jobs,
             "front_time": self.front_time,
             "front_shared": self.front_shared,
+            "front_from_disk": self.front_from_disk,
             "pointer_time": self.pointer_time,
+            "schedule_time": self.schedule_time,
             "dataflow_time": self.dataflow_time,
+            "cache_io_time": self.cache_io_time,
             "total_time": self.total_time,
             "sections": self.sections,
             "dataflow_steps": self.dataflow_steps,
@@ -141,6 +184,14 @@ class AnalysisProfile:
             "section_reruns": self.section_reruns,
             "transfer_cache_hits": self.transfer_cache_hits,
             "transfer_cache_misses": self.transfer_cache_misses,
+            "transfer_cache_stale": self.transfer_cache_stale,
+            "summaries_from_disk": self.summaries_from_disk,
+            "sections_from_disk": self.sections_from_disk,
+            "scc_count": self.scc_count,
+            "level_count": self.level_count,
+            "sccs_run": self.sccs_run,
+            "level_times": list(self.level_times),
+            "scc_times": dict(self.scc_times),
             "interned_terms": dict(self.interned_terms),
         }
 
@@ -151,10 +202,29 @@ class SharedAnalysis:
     Parsing, lowering, CFG construction, and the pointer analysis do not
     depend on (k, use_effects), so a configuration sweep can build one
     ``SharedAnalysis`` and hand it to every :class:`LockInference`.
+
+    With *cache_dir* and source text, the whole front half is additionally
+    persisted to (and served from) the on-disk analysis cache, keyed by
+    the source hash — a warm process skips parse/lower/CFG/pointer work
+    entirely (``front_from_disk``).
     """
 
-    def __init__(self, source: Union[str, ast.Program, ir.LoweredProgram]):
+    def __init__(
+        self,
+        source: Union[str, ast.Program, ir.LoweredProgram],
+        cache_dir: Optional[str] = None,
+    ):
+        self.front_from_disk = False
         started = time.perf_counter()
+        if isinstance(source, str) and cache_dir:
+            cached = diskcache.load_front(cache_dir, source)
+            if cached is not None:
+                self.program, self.cfgs, self.pointsto = cached
+                self.front_time = time.perf_counter() - started
+                self.pointer_time = 0.0
+                self.front_from_disk = True
+                return
+        text = source if isinstance(source, str) else None
         if isinstance(source, str):
             source = parse_program(source)
         if isinstance(source, ast.Program):
@@ -166,6 +236,12 @@ class SharedAnalysis:
         started = time.perf_counter()
         self.pointsto: PointsTo = PointsTo(self.program).analyze()
         self.pointer_time = time.perf_counter() - started
+        if text is not None and cache_dir:
+            # memoize the pointer fingerprint onto the instance first so
+            # the pickled front carries it — warm runs then skip the walk
+            diskcache.pointer_fingerprint(self.pointsto)
+            diskcache.store_front(cache_dir, text, self.program, self.cfgs,
+                                  self.pointsto)
 
 
 _SHARED_CACHE: Dict[int, SharedAnalysis] = {}
@@ -223,6 +299,13 @@ class LockInference:
     *program* may be source text, a parsed/lowered program, or a
     :class:`SharedAnalysis` — in the latter case the front half of the
     pipeline (including the pointer analysis) is reused, not recomputed.
+
+    *jobs* > 1 precomputes function summaries bottom-up over the call
+    graph's SCC condensation, fanning independent components out across
+    worker processes (:mod:`repro.inference.schedule`); *cache_dir* roots
+    the persistent cross-run cache (:mod:`repro.inference.diskcache`).
+    Both leave the inferred lock sets bit-identical to the default
+    serial, cache-less run.
     """
 
     def __init__(
@@ -233,13 +316,21 @@ class LockInference:
         specs: Optional[SpecLibrary] = None,
         alias: str = "steensgaard",
         enable_caches: bool = True,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
     ) -> None:
         if alias not in ("steensgaard", "andersen"):
             raise ValueError(f"unknown alias analysis {alias!r}")
+        self.jobs = max(1, jobs)
+        self.cache_dir = cache_dir if enable_caches else None
         self._front_time = 0.0
         if isinstance(program, SharedAnalysis):
             self.shared: Optional[SharedAnalysis] = program
             self.program = program.program
+        elif isinstance(program, str) and self.cache_dir:
+            # front-half disk caching needs the source text for its key
+            self.shared = SharedAnalysis(program, cache_dir=self.cache_dir)
+            self.program = self.shared.program
         else:
             self.shared = None
             started = time.perf_counter()
@@ -256,12 +347,15 @@ class LockInference:
         self.enable_caches = enable_caches
 
     def run(self) -> InferenceResult:
-        profile = AnalysisProfile(k=self.k, use_effects=self.use_effects)
+        profile = AnalysisProfile(k=self.k, use_effects=self.use_effects,
+                                  jobs=self.jobs)
         if self.shared is not None:
             pointsto = self.shared.pointsto
             cfgs = self.shared.cfgs
             pointer_time = self.shared.pointer_time
             profile.front_shared = True
+            profile.front_from_disk = getattr(
+                self.shared, "front_from_disk", False)
             profile.front_time = self.shared.front_time
         else:
             started = time.perf_counter()
@@ -282,26 +376,52 @@ class LockInference:
             pointer_time=pointer_time,
             profile=profile,
         )
-        started = time.perf_counter()
         oracle = None
         if self.alias == "andersen":
             from ..pointer.andersen import Andersen, AndersenOracle
 
             andersen = Andersen(self.program, pointsto).analyze()
             oracle = AndersenOracle(pointsto, andersen)
+        schedule = None
+        disk = None
+        if self.jobs > 1 or self.cache_dir:
+            started = time.perf_counter()
+            schedule = build_schedule(self.program)
+            profile.schedule_time = time.perf_counter() - started
+            profile.scc_count = len(schedule.sccs)
+            profile.level_count = len(schedule.levels)
+        if self.cache_dir:
+            started = time.perf_counter()
+            disk = diskcache.open_cache(self.cache_dir, self.program,
+                                        pointsto, self.k, self.use_effects,
+                                        schedule)
+            profile.cache_io_time += time.perf_counter() - started
         engine = Engine(self.program, cfgs, pointsto, k=self.k,
                         use_effects=self.use_effects, specs=self.specs,
-                        oracle=oracle, enable_caches=self.enable_caches)
+                        oracle=oracle, enable_caches=self.enable_caches,
+                        disk_cache=disk)
+        started = time.perf_counter()
+        if self.jobs > 1:
+            report = precompute_summaries(engine, schedule, jobs=self.jobs)
+            profile.sccs_run = report.sccs_run
+            profile.level_times = list(report.level_times)
+            profile.scc_times = dict(report.scc_times)
         for func_name, cfg in cfgs.items():
             for section in cfg.sections.values():
                 result.sections[section.section_id] = engine.analyze_section(
                     func_name, section
                 )
         result.dataflow_time = time.perf_counter() - started
+        if disk is not None:
+            started = time.perf_counter()
+            disk.store_dirty(engine)
+            profile.cache_io_time += time.perf_counter() - started
         profile.dataflow_time = result.dataflow_time
         profile.sections = len(result.sections)
         for name in ("dataflow_steps", "summary_runs", "section_reruns",
-                     "transfer_cache_hits", "transfer_cache_misses"):
+                     "transfer_cache_hits", "transfer_cache_misses",
+                     "transfer_cache_stale", "summaries_from_disk",
+                     "sections_from_disk"):
             setattr(profile, name, engine.stats[name])
         profile.interned_terms = interning_stats()
         return result

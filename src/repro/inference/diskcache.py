@@ -1,0 +1,256 @@
+"""Persistent cross-run analysis cache.
+
+Three namespaces under ``<root>/analysis/`` (kept separate from the bench
+executor's result cells, which live under ``<root>/cells/``):
+
+* ``front/`` — the parsed front half (lowered program, CFGs, pointer
+  results) pickled per source hash.  Loading it lets a warm run skip
+  parsing, lowering, CFG construction, and the Steensgaard solve outright.
+* ``summ/``  — per-function summary bundles: every summary-table entry
+  belonging to one function, keyed by the function's *cone hash*
+  (:func:`repro.cfg.callgraph.cone_hashes` — its own canonical IR text
+  folded with all transitive callees') plus the analysis salt.
+* ``sect/``  — final section lock sets, same key plus the section id.
+
+The key discipline carries the soundness argument: a bundle/section hit
+requires the whole SCC cone to be byte-identical, so every value that went
+into the cached fixpoint is unchanged; the salt folds in the engine
+configuration (k, effects mode, cache schema version) and a whole-program
+*pointer fingerprint*, so any edit that renumbers Steensgaard equivalence
+classes — class ids appear inside cached coarse emissions and locks —
+conservatively invalidates everything.  An edit that keeps the pointer
+structure intact invalidates exactly the dirty SCC cone: the edited
+function's hash and its (transitive) callers' change, everything below
+stays warm.
+
+Entries are pickled with the interned-term ``__reduce__`` hooks, so terms
+re-intern on load; writes go through a temp file + ``os.replace`` so
+concurrent runs sharing a cache root never observe torn files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sys
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..cfg import build_schedule, cone_hashes
+
+# bump when the on-disk layout or the meaning of cached values changes
+CACHE_SCHEMA = 1
+_FRONT_SCHEMA = 1
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def pointer_fingerprint(pointsto) -> str:
+    """Canonical digest of the Steensgaard result.
+
+    Covers everything lock inference reads from the pointer analysis: the
+    class of every variable, and per class its points-to class and field
+    classes.  Class ids are the canonical walk-order numbering
+    (:meth:`PointsTo._assign_class_ids`), so the fingerprint is a pure
+    function of the program text — equal programs hash equal across
+    processes and runs.  Memoized on the instance (and carried through
+    the pickled front half): the result cannot change once the analysis
+    has run.
+    """
+    cached = getattr(pointsto, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    class_ids = pointsto._class_ids
+    var_part = sorted(
+        (key, class_ids.get(ecr.find(), -1))
+        for key, ecr in pointsto._vars.items()
+    )
+    class_part = []
+    for cid in range(pointsto._next_class_id):
+        ecr = pointsto.ecr_of_class_id(cid)
+        if ecr is None:
+            continue
+        pts = ecr.pts.find() if ecr.pts is not None else None
+        pts_id = class_ids.get(pts, -1) if pts is not None else -1
+        fields = sorted(
+            (name, class_ids.get(f.find(), -1))
+            for name, f in ecr.fields.items()
+        )
+        class_part.append((cid, pts_id, fields))
+    digest = _sha(repr((var_part, class_part)))
+    pointsto._fingerprint = digest
+    return digest
+
+
+def analysis_salt(pointsto, k: int, use_effects: bool) -> str:
+    """The per-configuration component of every summary/section key."""
+    return _sha(
+        f"schema={CACHE_SCHEMA};k={k};effects={use_effects};"
+        f"pointer={pointer_fingerprint(pointsto)}"
+    )
+
+
+def _atomic_write(path: str, payload: bytes) -> None:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)
+
+
+def _pickle(value) -> bytes:
+    # CFGs and ECR graphs are deep object webs; the pickler walks them
+    # recursively, so give it headroom proportional to nothing in
+    # particular but comfortably above any corpus function
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(limit, 100_000))
+    try:
+        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        sys.setrecursionlimit(limit)
+
+
+class AnalysisDiskCache:
+    """Summary/section store for one (program, pointer result, k, effects).
+
+    Engine-facing surface: ``load_bundle`` / ``load_section`` /
+    ``store_section`` (called from inside the solve) and ``store_dirty``
+    (called once per run to persist whatever the solve changed).
+    """
+
+    def __init__(self, root: str, cone: Dict[str, str], salt: str) -> None:
+        self.root = root
+        self.cone = cone
+        self.salt = salt
+        # the summary table file, read at most once per cache instance:
+        # {func_name: (cone_hash, {summary_key: SummaryResult})}
+        self._summ_table: Optional[Dict[str, Tuple[str, Dict]]] = None
+        self.stats = {
+            "bundle_hits": 0,
+            "bundle_misses": 0,
+            "bundles_stored": 0,
+            "section_hits": 0,
+            "section_misses": 0,
+            "sections_stored": 0,
+        }
+
+    # -- keys ----------------------------------------------------------
+
+    def _summ_path(self) -> str:
+        # one file per salt: the salt pins program configuration + pointer
+        # structure, per-function cone hashes inside the table gate
+        # staleness after pointer-preserving edits
+        return os.path.join(self.root, "summ", f"{self.salt[:32]}.pkl")
+
+    def _section_path(self, func_name: str, section_id: str) -> Optional[str]:
+        cone = self.cone.get(func_name)
+        if cone is None:
+            return None
+        digest = _sha(f"section;{func_name};{section_id};{cone};{self.salt}")
+        return os.path.join(self.root, "sect", f"{digest[:32]}.pkl")
+
+    @staticmethod
+    def _read(path: Optional[str]):
+        if path is None:
+            return None
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # torn/stale/incompatible entry: treat as a miss, the store
+            # after recomputation overwrites it
+            return None
+
+    # -- summary bundles -----------------------------------------------
+
+    def _table(self) -> Dict[str, Tuple[str, Dict]]:
+        if self._summ_table is None:
+            data = self._read(self._summ_path())
+            self._summ_table = data if isinstance(data, dict) else {}
+        return self._summ_table
+
+    def load_bundle(self, func_name: str) -> Optional[Dict[tuple, object]]:
+        record = self._table().get(func_name)
+        if record is None or record[0] != self.cone.get(func_name):
+            self.stats["bundle_misses"] += 1
+            return None
+        self.stats["bundle_hits"] += 1
+        return dict(record[1])
+
+    def store_dirty(self, engine) -> int:
+        """Persist the bundles of every function the solve changed.
+
+        Loaded-and-unchanged functions keep their existing record; a
+        function whose table gained or moved entries — including freshly
+        computed ones — is rewritten into the (single, per-salt) summary
+        file, which is written once per call.
+        """
+        per_func: Dict[str, Dict[tuple, object]] = {}
+        for key, value in engine.summary_items():
+            per_func.setdefault(key[1], {})[key] = value
+        table = self._table()
+        stored = 0
+        for func_name in sorted(engine.dirty_funcs):
+            entries = per_func.get(func_name)
+            cone = self.cone.get(func_name)
+            if entries and cone is not None:
+                table[func_name] = (cone, dict(entries))
+                stored += 1
+        if stored:
+            _atomic_write(self._summ_path(), _pickle(table))
+            self.stats["bundles_stored"] += stored
+        return stored
+
+    # -- section locks -------------------------------------------------
+
+    def load_section(self, func_name: str, section_id: str):
+        locks = self._read(self._section_path(func_name, section_id))
+        if locks is None:
+            self.stats["section_misses"] += 1
+            return None
+        self.stats["section_hits"] += 1
+        return locks
+
+    def store_section(self, func_name: str, section_id: str, locks) -> None:
+        path = self._section_path(func_name, section_id)
+        if path is None:
+            return
+        _atomic_write(path, _pickle(locks))
+        self.stats["sections_stored"] += 1
+
+
+def open_cache(root: str, program, pointsto, k: int,
+               use_effects: bool, schedule=None) -> AnalysisDiskCache:
+    """Build the cache view for one analysis configuration."""
+    if schedule is None:
+        schedule = build_schedule(program)
+    cone = cone_hashes(program, schedule)
+    return AnalysisDiskCache(
+        os.path.join(root, "analysis"),
+        cone,
+        analysis_salt(pointsto, k, use_effects),
+    )
+
+
+# ---------------------------------------------------------------------------
+# front-half cache (parse + lower + CFGs + pointer analysis)
+# ---------------------------------------------------------------------------
+
+
+def _front_path(root: str, source: str) -> str:
+    digest = _sha(f"front;schema={_FRONT_SCHEMA};{source}")
+    return os.path.join(root, "analysis", "front", f"{digest[:32]}.pkl")
+
+
+def load_front(root: str, source: str) -> Optional[Tuple]:
+    """Load ``(program, cfgs, pointsto)`` for *source*, or ``None``."""
+    return AnalysisDiskCache._read(_front_path(root, source))
+
+
+def store_front(root: str, source: str, program, cfgs, pointsto) -> None:
+    _atomic_write(_front_path(root, source),
+                  _pickle((program, cfgs, pointsto)))

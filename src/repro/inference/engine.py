@@ -32,16 +32,32 @@ against):
   summary anywhere moved;
 * per-node **transfer-result caching**: a node's transfer output is a pure
   function of its OUT set (plus, for call nodes, the summary table), so
-  results are memoized per (run, node, OUT set), keyed on a generation
-  counter that bumps whenever a summary changes — call-node entries
-  self-invalidate, statement-node entries never go stale;
+  results are memoized per (run, node, OUT set); call-node entries carry
+  the summary generation at which they were computed and are recomputed
+  (counted as *stale*, not as cache misses — they could never have hit)
+  when a summary changed underneath them, statement-node entries never go
+  stale;
+* **worklist prioritization**: dataflow runs pop nodes in reverse
+  postorder of the reversed CFG (exit first), so exit-side facts reach
+  their predecessors in one sweep per loop nest and re-enqueued
+  predecessors of changed nodes are processed closest-to-exit first —
+  fewer distinct OUT sets per node, so more transfer-cache hits;
 * **substituter reuse**: the pre-image substituter for a given (write,
   scope) pair is built once and its memo tables persist across fixpoint
   iterations (see :class:`~repro.inference.subst.Substituter`).
+
+Two cross-run layers sit on top (see :mod:`repro.inference.schedule` and
+:mod:`repro.inference.diskcache`): :meth:`Engine.precompute_funcs` solves
+access summaries bottom-up over the call-graph condensation (the parallel
+scheduler fans independent SCCs out across processes and merges their
+entries back via :meth:`Engine.import_summaries`), and an optional
+persistent disk cache serves whole summary bundles and section lock sets
+keyed by content hashes of the function's SCC cone.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
@@ -149,6 +165,7 @@ class Engine:
         specs: Optional[SpecLibrary] = None,
         oracle: Optional[AliasOracle] = None,
         enable_caches: bool = True,
+        disk_cache=None,
     ) -> None:
         self.program = program
         self.cfgs = cfgs
@@ -158,24 +175,38 @@ class Engine:
         self.k = k
         self.use_effects = use_effects
         self.enable_caches = enable_caches
+        # the persistent cross-run cache (inference.diskcache); the golden
+        # reference path must stay pure, so it is ignored without caches
+        self._disk = disk_cache if enable_caches else None
         # summary machinery
         self._summaries: Dict[tuple, SummaryResult] = {}
         self._deps: Dict[tuple, Set[tuple]] = {}
         self._worklist: deque = deque()
         self._queued: Set[tuple] = set()
         self._version = 0
+        # disk-cache bookkeeping: functions whose bundle was already looked
+        # up, functions served (at least partially) from disk, and functions
+        # whose summary set gained or changed entries since (re-store set)
+        self._bundle_checked: Set[str] = set()
+        self.loaded_funcs: Set[str] = set()
+        self.computed_funcs: Set[str] = set()
+        self.dirty_funcs: Set[str] = set()
         # per-function write-effect memo (for caller-local terms across calls)
         self._written_classes: Dict[str, Optional[FrozenSet[int]]] = {}
         # performance caches (see module docstring); both bypassed when
         # enable_caches is False
         self._substituters: Dict[Tuple[WriteInfo, str], Substituter] = {}
-        self._transfer_cache: Dict[tuple, Tuple[tuple, FrozenSet]] = {}
+        self._transfer_cache: Dict[tuple, Tuple[int, tuple, FrozenSet]] = {}
+        self._backward_ranks: Dict[str, Dict[int, int]] = {}
         self.stats = {
             "dataflow_steps": 0,
             "summary_runs": 0,
             "section_reruns": 0,
             "transfer_cache_hits": 0,
             "transfer_cache_misses": 0,
+            "transfer_cache_stale": 0,
+            "summaries_from_disk": 0,
+            "sections_from_disk": 0,
         }
 
     # ------------------------------------------------------------------
@@ -184,6 +215,11 @@ class Engine:
 
     def analyze_section(self, func_name: str, section: SectionInfo) -> SectionLocks:
         """Infer the lock set protecting one atomic section."""
+        if self._disk is not None:
+            locks = self._disk.load_section(func_name, section.section_id)
+            if locks is not None:
+                self.stats["sections_from_disk"] += 1
+                return SectionLocks(section.section_id, func_name, locks)
         requester = ("section", section.section_id)
         if self.enable_caches:
             # dependency-driven convergence: re-run the region only when a
@@ -207,6 +243,8 @@ class Engine:
                 if self._version == version:
                     break
         locks = self._assemble_locks(func_name, entry_terms, ctx.coarse)
+        if self._disk is not None:
+            self._disk.store_section(func_name, section.section_id, locks)
         return SectionLocks(section.section_id, func_name, locks)
 
     # ------------------------------------------------------------------
@@ -239,9 +277,37 @@ class Engine:
     def _demand_summary(self, key: tuple, requester: tuple) -> SummaryResult:
         self._deps.setdefault(key, set()).add(requester)
         if key not in self._summaries:
-            self._summaries[key] = SummaryResult.empty()
-            self._enqueue(key)
+            func_name = key[1]
+            if (self._disk is not None
+                    and func_name not in self._bundle_checked):
+                self._load_bundle(func_name)
+            if key not in self._summaries:
+                self._summaries[key] = SummaryResult.empty()
+                self.dirty_funcs.add(func_name)
+                self._enqueue(key)
         return self._summaries[key]
+
+    def _load_bundle(self, func_name: str) -> None:
+        """Pull *func_name*'s persisted summaries into the table.
+
+        Loaded entries are final: the cone hash that keyed them guarantees
+        every transitive callee is byte-identical, so their fixpoint values
+        cannot move — they are never enqueued, and the solver never
+        recomputes them.  Keys already in flight (demanded before the
+        bundle arrived) keep their in-progress value.
+        """
+        self._bundle_checked.add(func_name)
+        bundle = self._disk.load_bundle(func_name)
+        if not bundle:
+            return
+        loaded = 0
+        for bkey, value in bundle.items():
+            if bkey not in self._summaries:
+                self._summaries[bkey] = value
+                loaded += 1
+        if loaded:
+            self.stats["summaries_from_disk"] += loaded
+            self.loaded_funcs.add(func_name)
 
     def _enqueue(self, key: tuple) -> None:
         if key not in self._queued:
@@ -257,15 +323,51 @@ class Engine:
             result = self._compute_summary(key)
             if result != self._summaries.get(key):
                 self._summaries[key] = result
+                self.dirty_funcs.add(key[1])
                 self._version += 1
                 changed.add(key)
                 for dep in self._deps.get(key, ()):
-                    if dep[0] != "section":
+                    if dep[0] not in ("section", "pre"):
                         self._enqueue(dep)
         return changed
 
+    # -- bottom-up precomputation hooks (inference.schedule) ------------
+
+    def precompute_funcs(self, funcs) -> None:
+        """Demand and solve the access summaries of *funcs* in order.
+
+        Called with one call-graph SCC at a time, bottom-up, so every
+        summary a member demands from outside the component is already at
+        its final value; the solve therefore only iterates within the
+        component (mutual recursion) and the computed entries are final.
+        """
+        for func_name in funcs:
+            self._demand_summary(("acc", func_name), ("pre", func_name))
+        self._solve_summaries()
+
+    def summary_items(self):
+        """Snapshot view of the summary table (scheduler merge support)."""
+        return self._summaries.items()
+
+    def import_summaries(self, entries) -> int:
+        """Adopt summary entries computed elsewhere (a worker process).
+
+        Bumps the summary generation when anything changed so stale
+        call-node transfer memos recompute against the new table.
+        """
+        imported = 0
+        for key, value in entries:
+            if self._summaries.get(key) != value:
+                self._summaries[key] = value
+                self.dirty_funcs.add(key[1])
+                imported += 1
+        if imported:
+            self._version += 1
+        return imported
+
     def _compute_summary(self, key: tuple) -> SummaryResult:
         self.stats["summary_runs"] += 1
+        self.computed_funcs.add(key[1])
         func_name = key[1]
         cfg = self.cfgs.get(func_name)
         func = self.program.functions.get(func_name)
@@ -309,15 +411,25 @@ class Engine:
     # dataflow runs
     # ------------------------------------------------------------------
 
+    def _backward_rank(self, func_name: str) -> Dict[int, int]:
+        """Memoized exit-first priority order for *func_name*'s CFG."""
+        rank = self._backward_ranks.get(func_name)
+        if rank is None:
+            rank = self.cfgs[func_name].backward_order()
+            self._backward_ranks[func_name] = rank
+        return rank
+
     def _run_region(
         self, func_name: str, section: SectionInfo, ctx: _RunContext
     ) -> TermSet:
         region = section.nodes
+        rank = self._backward_rank(func_name)
         in_sets: Dict[int, TermSet] = {n.uid: {} for n in region}
-        worklist = deque(sorted(region, key=lambda n: -n.uid))
+        worklist = [(rank[n.uid], n.uid, n) for n in region]
+        heapq.heapify(worklist)
         queued = {n.uid for n in region}
         while worklist:
-            node = worklist.popleft()
+            _, _, node = heapq.heappop(worklist)
             queued.discard(node.uid)
             out: TermSet = {}
             for succ in node.succs:
@@ -329,7 +441,8 @@ class Engine:
                 for pred in node.preds:
                     if pred.uid in in_sets and pred.uid not in queued:
                         queued.add(pred.uid)
-                        worklist.append(pred)
+                        heapq.heappush(
+                            worklist, (rank[pred.uid], pred.uid, pred))
         return in_sets[section.enter.uid]
 
     def _run_function(
@@ -340,12 +453,14 @@ class Engine:
         with_g: bool,
         ctx: _RunContext,
     ) -> TermSet:
+        rank = self._backward_rank(func_name)
         in_sets: Dict[int, TermSet] = {n.uid: {} for n in cfg.nodes}
         in_sets[cfg.exit.uid] = dict(exit_seed)
-        worklist = deque(sorted(cfg.nodes, key=lambda n: -n.uid))
+        worklist = [(rank[n.uid], n.uid, n) for n in cfg.nodes]
+        heapq.heapify(worklist)
         queued = {n.uid for n in cfg.nodes}
         while worklist:
-            node = worklist.popleft()
+            _, _, node = heapq.heappop(worklist)
             queued.discard(node.uid)
             if node is cfg.exit:
                 continue
@@ -358,7 +473,8 @@ class Engine:
                 for pred in node.preds:
                     if pred.uid not in queued:
                         queued.add(pred.uid)
-                        worklist.append(pred)
+                        heapq.heappush(
+                            worklist, (rank[pred.uid], pred.uid, pred))
         return in_sets[cfg.entry.uid]
 
     # ------------------------------------------------------------------
@@ -377,8 +493,14 @@ class Engine:
 
         A transfer's output (including its coarse emissions) is a pure
         function of the node and its OUT set — except at call nodes, whose
-        output also reads the summary table, so their entries are keyed on
-        the summary generation counter and go stale automatically.
+        output also reads the summary table.  Entries record the summary
+        generation they were computed at: statement-node entries never go
+        stale (stored generation ``-1``), call-node entries are recomputed
+        in place when the generation moved.  A forced recomputation counts
+        as ``transfer_cache_stale``, *not* as a miss — the entry could not
+        possibly have hit, so folding it into the misses would understate
+        the hit rate on the lookups the cache can actually serve (the
+        accounting bug this distinction fixes).
         """
         if not self.enable_caches:
             return self._transfer(func_name, node, out, ctx, with_g=with_g)
@@ -387,25 +509,23 @@ class Engine:
             and isinstance(node.instr, ir.IAssign)
             and isinstance(node.instr.rhs, ir.RCall)
         )
-        key = (
-            ctx.requester,
-            node.uid,
-            frozenset(out.items()),
-            with_g,
-            self._version if is_call else -1,
-        )
+        key = (ctx.requester, node.uid, frozenset(out.items()), with_g)
         entry = self._transfer_cache.get(key)
         if entry is not None:
-            self.stats["transfer_cache_hits"] += 1
-            result_items, coarse = entry
-            if coarse:
-                ctx.coarse |= coarse
-            return dict(result_items)
-        self.stats["transfer_cache_misses"] += 1
+            version, result_items, coarse = entry
+            if version == -1 or version == self._version:
+                self.stats["transfer_cache_hits"] += 1
+                if coarse:
+                    ctx.coarse |= coarse
+                return dict(result_items)
+            self.stats["transfer_cache_stale"] += 1
+        else:
+            self.stats["transfer_cache_misses"] += 1
         ctx.begin_record()
         result = self._transfer(func_name, node, out, ctx, with_g=with_g)
         coarse = ctx.end_record()
-        self._transfer_cache[key] = (tuple(result.items()), coarse)
+        self._transfer_cache[key] = (
+            self._version if is_call else -1, tuple(result.items()), coarse)
         return result
 
     def _transfer(

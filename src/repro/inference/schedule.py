@@ -1,0 +1,322 @@
+"""Bottom-up, optionally parallel scheduling of summary computation.
+
+The engine's function summaries depend only on (transitive) callees, so
+instead of discovering them lazily from inside section dataflows, the
+scheduler walks the call-graph condensation (:mod:`repro.cfg.callgraph`)
+bottom-up and solves every relevant access summary level by level:
+
+* **serial** (``jobs=1``, the default): the same engine operations the lazy
+  path would eventually perform, issued in reverse topological order — the
+  result table is identical, section analyses afterwards find every
+  summary already at its fixpoint;
+* **parallel** (``jobs>1``): SCCs on one level cannot call each other, so
+  each level fans out over a ``ProcessPoolExecutor``.  The pool uses the
+  ``fork`` start method and is created *after* the engine exists, so every
+  worker inherits the interned program, CFGs, and pointer results through
+  the fork snapshot — per-task payloads carry only the summary entries
+  accumulated since the fork (filtered to the SCC's cone), and workers
+  return just the entries they newly computed.  Results are merged in SCC
+  order, so the merged table is a pure function of the program.
+
+Both paths leave extra entries behind compared to pure laziness (a
+section region may not reach every call site of its function), but every
+entry holds its least-fixpoint value, so section lock sets are unchanged —
+the golden-equivalence suite pins ``jobs=4 ≡ jobs=1 ≡ enable_caches=False``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..cfg import CallSchedule, build_schedule
+from ..lang import ir
+from .engine import Engine
+
+# The engine a forked worker process inherits; set in the parent
+# immediately before pool creation (fork start method only).
+_FORKED_ENGINE: Optional[Engine] = None
+
+# A level fans out only when its summed instruction weight clears this
+# bar; below it the per-task payload pickling and dispatch latency exceed
+# the solve itself and the parent runs the level serially.
+MIN_PARALLEL_WEIGHT = 400
+
+_MERGED_STATS = (
+    "dataflow_steps",
+    "summary_runs",
+    "transfer_cache_hits",
+    "transfer_cache_misses",
+    "transfer_cache_stale",
+    "summaries_from_disk",
+)
+
+
+@dataclass
+class PrecomputeReport:
+    """What the scheduler did: level/SCC structure and timings."""
+
+    jobs: int = 1
+    scc_count: int = 0
+    level_count: int = 0
+    sccs_run: int = 0
+    funcs_total: int = 0
+    funcs_targeted: int = 0
+    level_times: List[float] = field(default_factory=list)
+    scc_times: Dict[str, float] = field(default_factory=dict)
+
+
+def relevant_functions(engine: Engine, schedule: CallSchedule) -> Set[str]:
+    """Functions whose summaries a section analysis could demand.
+
+    A section's dataflow demands summaries only at call nodes, so the
+    working set is the cones of the section function's *callees* — the
+    function's own access summary is demanded only if it is recursive.
+    Matching the lazy demand set matters for the warm path: these are the
+    summaries a serial run persists, so a warm precompute that targets the
+    same set hits disk instead of re-solving.
+    """
+    funcs: Set[str] = set()
+    for func_name, cfg in engine.cfgs.items():
+        if not cfg.sections or func_name not in schedule.func_scc:
+            continue
+        idx = schedule.func_scc[func_name]
+        for callee in schedule.scc_callees[idx]:
+            funcs |= schedule.reachable(callee)
+        if schedule.recursive[idx]:
+            funcs |= set(schedule.sccs[idx])
+    return funcs
+
+
+def _scc_label(funcs: Sequence[str]) -> str:
+    if len(funcs) == 1:
+        return funcs[0]
+    return f"{funcs[0]}(+{len(funcs) - 1})"
+
+
+def effective_jobs(jobs: int) -> int:
+    """Clamp a worker request to the CPUs this process may run on.
+
+    Extra workers on an oversubscribed box are pure IPC overhead; with one
+    usable core the scheduler degrades to the serial bottom-up order,
+    which still beats the lazy path by skipping summary re-runs.
+    """
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        cores = os.cpu_count() or 1
+    return max(1, min(jobs, cores))
+
+
+def precompute_summaries(
+    engine: Engine,
+    schedule: Optional[CallSchedule] = None,
+    jobs: int = 1,
+    targets: Optional[Set[str]] = None,
+) -> PrecomputeReport:
+    """Solve access summaries for *targets* bottom-up; fan levels out over
+    *jobs* worker processes when ``jobs > 1``.
+
+    *targets* defaults to every section-reachable function; functions
+    whose access summary is already present (e.g. loaded from the disk
+    cache) are skipped, which is what restricts an incremental re-run to
+    the dirty SCC cone.
+    """
+    if schedule is None:
+        schedule = build_schedule(engine.program)
+    if targets is None:
+        targets = relevant_functions(engine, schedule)
+    report = PrecomputeReport(
+        jobs=max(1, jobs),
+        scc_count=len(schedule.sccs),
+        level_count=len(schedule.levels),
+        funcs_total=len(engine.program.functions),
+    )
+    # pull persisted bundles in first (in the parent, so a later fork shares
+    # them): warm functions then drop out of the pending filter below and
+    # only the dirty SCC cone is actually solved
+    if engine._disk is not None:
+        for name in sorted(targets):
+            if name not in engine._bundle_checked:
+                engine._load_bundle(name)
+    # an SCC needs a solve only if a target member lacks its access summary
+    pending: List[List[int]] = []
+    for level in schedule.levels:
+        todo = [
+            idx for idx in sorted(level)
+            if any(
+                name in targets and ("acc", name) not in engine._summaries
+                for name in schedule.sccs[idx]
+            )
+        ]
+        pending.append(todo)
+    report.funcs_targeted = sum(
+        len(schedule.sccs[idx]) for level in pending for idx in level
+    )
+    jobs = effective_jobs(jobs)
+    report.jobs = jobs
+    if jobs <= 1:
+        _run_serial(engine, schedule, pending, report)
+    else:
+        _run_parallel(engine, schedule, pending, jobs, report)
+    return report
+
+
+def _run_serial(engine: Engine, schedule: CallSchedule,
+                pending: List[List[int]], report: PrecomputeReport) -> None:
+    for level in pending:
+        level_started = time.perf_counter()
+        for idx in level:
+            started = time.perf_counter()
+            engine.precompute_funcs(schedule.sccs[idx])
+            report.scc_times[_scc_label(schedule.sccs[idx])] = (
+                time.perf_counter() - started)
+            report.sccs_run += 1
+        if level:
+            report.level_times.append(time.perf_counter() - level_started)
+
+
+def _scc_weight(engine: Engine, funcs: Sequence[str]) -> int:
+    """Instruction count of an SCC: the fan-out cost model's work proxy."""
+    total = 0
+    for name in funcs:
+        func = engine.program.functions.get(name)
+        if func is not None:
+            total += sum(1 for _ in ir.walk_instrs(func.body))
+    return total
+
+
+def _chunk_level(engine: Engine, schedule: CallSchedule, level: List[int],
+                 jobs: int) -> List[List[int]]:
+    """Partition a level's SCCs into at most *jobs* weight-balanced chunks.
+
+    Greedy longest-processing-time assignment; chunks keep their SCCs in
+    ascending index order and the chunk list itself is deterministic, so
+    the parent-side merge order is a pure function of the program.
+    """
+    weighted = sorted(
+        ((_scc_weight(engine, schedule.sccs[idx]), idx) for idx in level),
+        reverse=True,
+    )
+    bins: List[List[int]] = [[] for _ in range(min(jobs, len(level)))]
+    loads = [0] * len(bins)
+    for weight, idx in weighted:
+        target = loads.index(min(loads))
+        bins[target].append(idx)
+        loads[target] += weight
+    return [sorted(chunk) for chunk in bins if chunk]
+
+
+def _solve_scc(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker: solve one chunk of same-level SCCs against the forked
+    engine snapshot.
+
+    The payload's ``summaries`` are the entries the parent accumulated
+    since the fork (restricted to the chunk's cones); everything older is
+    already in this process's memory.  Returns only entries this task
+    added or changed, so the parent merge is proportional to new work.
+    """
+    engine = _FORKED_ENGINE
+    assert engine is not None, "worker outside a fork-scheduled precompute"
+    engine.import_summaries(payload["summaries"])
+    before = dict(engine.summary_items())
+    stats_before = {name: engine.stats[name] for name in _MERGED_STATS}
+    started = time.perf_counter()
+    engine.precompute_funcs(payload["funcs"])
+    elapsed = time.perf_counter() - started
+    entries = [
+        (key, value)
+        for key, value in engine.summary_items()
+        if before.get(key) != value
+    ]
+    return {
+        "entries": entries,
+        "stats": {
+            name: engine.stats[name] - stats_before[name]
+            for name in _MERGED_STATS
+        },
+        "elapsed": elapsed,
+    }
+
+
+def _run_parallel(engine: Engine, schedule: CallSchedule,
+                  pending: List[List[int]], jobs: int,
+                  report: PrecomputeReport) -> None:
+    import multiprocessing
+
+    global _FORKED_ENGINE
+    if "fork" not in multiprocessing.get_all_start_methods():
+        # no fork (e.g. Windows): the snapshot trick is unavailable, fall
+        # back to the serial schedule rather than pickling whole programs
+        _run_serial(engine, schedule, pending, report)
+        return
+    _FORKED_ENGINE = engine
+    # entries created after the fork snapshot; parents of later levels
+    # ship these (cone-filtered) to whichever worker picks the task up
+    delta: Dict[tuple, object] = {}
+    pool = None
+    try:
+        for level in pending:
+            if not level:
+                continue
+            level_started = time.perf_counter()
+            weight = sum(
+                _scc_weight(engine, schedule.sccs[idx]) for idx in level)
+            if len(level) == 1 or weight < MIN_PARALLEL_WEIGHT:
+                # too little to overlap: run in the parent, skip the IPC
+                for idx in level:
+                    started = time.perf_counter()
+                    before = dict(engine.summary_items())
+                    engine.precompute_funcs(schedule.sccs[idx])
+                    for key, value in engine.summary_items():
+                        if before.get(key) != value:
+                            delta[key] = value
+                    report.scc_times[_scc_label(schedule.sccs[idx])] = (
+                        time.perf_counter() - started)
+                    report.sccs_run += 1
+                report.level_times.append(
+                    time.perf_counter() - level_started)
+                continue
+            if pool is None:
+                # everything merged so far rides in the fork snapshot, so
+                # only entries younger than the pool need shipping
+                pool = ProcessPoolExecutor(
+                    max_workers=jobs,
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+                delta.clear()
+            futures = []
+            for chunk in _chunk_level(engine, schedule, level, jobs):
+                cone: Set[str] = set()
+                funcs: List[str] = []
+                for idx in chunk:
+                    cone |= schedule.reachable(idx)
+                    funcs.extend(schedule.sccs[idx])
+                payload = {
+                    "funcs": funcs,
+                    "summaries": [
+                        (key, value) for key, value in delta.items()
+                        if key[1] in cone
+                    ],
+                }
+                futures.append((chunk, pool.submit(_solve_scc, payload)))
+            for chunk, future in futures:
+                outcome = future.result()
+                engine.import_summaries(outcome["entries"])
+                for key, value in outcome["entries"]:
+                    delta[key] = value
+                for name, count in outcome["stats"].items():
+                    engine.stats[name] += count
+                label = _scc_label(schedule.sccs[chunk[0]])
+                if len(chunk) > 1:
+                    label += f"[chunk of {len(chunk)}]"
+                report.scc_times[label] = outcome["elapsed"]
+                report.sccs_run += len(chunk)
+            report.level_times.append(time.perf_counter() - level_started)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+        _FORKED_ENGINE = None
