@@ -42,6 +42,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.events import envelope
+from ..obs.trace import get_tracer
 from ..sim.deadline import DeadlineExceeded, clear_deadline, set_deadline
 from .configs import ALL_BENCHMARKS, CONFIGS, BenchSpec
 from .harness import RunResult, run_benchmark
@@ -118,6 +120,7 @@ class ExecutorOptions:
     cache_dir: Optional[str] = None  # None -> benchmarks/results/cache
     events_path: Optional[str] = None  # JSONL event stream
     progress: Optional[Callable[[Dict[str, object]], None]] = None
+    trace: bool = False  # collect spans in workers, ship into the stream
 
     def resolved_jobs(self) -> int:
         return max(1, self.jobs if self.jobs is not None else
@@ -214,16 +217,24 @@ class _EventLog:
 
     def emit(self, event: str, cell: Optional[Cell] = None,
              **extra: object) -> None:
-        record: Dict[str, object] = {"event": event, "ts": round(time.time(), 3)}
+        payload: Dict[str, object] = {}
         if cell is not None:
-            record["cell"] = cell.to_dict()
-            record["label"] = cell.label
-        record.update(extra)
+            payload["cell"] = cell.to_dict()
+            payload["label"] = cell.label
+        payload.update(extra)
+        record = envelope(event, **payload)
         if self._handle is not None:
             self._handle.write(json.dumps(record, sort_keys=True) + "\n")
             self._handle.flush()
         if self._progress is not None:
             self._progress(record)
+
+    def write_raw(self, record: Dict[str, object]) -> None:
+        """Append an already-built envelope record (e.g. a shipped span)
+        without routing it through the progress callback."""
+        if self._handle is not None:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
 
     def close(self) -> None:
         if self._handle is not None:
@@ -279,28 +290,45 @@ def _execute_cell(payload: Dict[str, object]) -> Dict[str, object]:
     if backoff:
         time.sleep(backoff)
     cell = Cell.from_dict(payload["cell"])
+    tracer = get_tracer()
+    tracing = bool(payload.get("trace"))
+    inherited: List[Dict[str, object]] = []
+    if tracing:
+        tracer.configure(True)
+        # a forked worker inherits the coordinator's span buffer (and the
+        # inline jobs=1 path shares it outright): set it aside so this
+        # cell ships only its own spans, and restore it afterwards
+        inherited = tracer.drain()
     started = time.perf_counter()
     try:
         spec = ALL_BENCHMARKS.get(cell.bench)
         if spec is None:
             raise KeyError(f"unknown benchmark {cell.bench!r}")
         with _alarm(payload.get("timeout")):
-            result = run_benchmark(
-                spec, cell.config, threads=cell.threads, setting=cell.setting,
-                n_ops=cell.n_ops, ncores=cell.ncores, k=cell.k,
-            )
-        return {
+            with tracer.span(f"cell:{cell.label}", "executor",
+                             config=cell.config, threads=cell.threads,
+                             attempt=payload.get("attempt", 1)):
+                result = run_benchmark(
+                    spec, cell.config, threads=cell.threads,
+                    setting=cell.setting, n_ops=cell.n_ops,
+                    ncores=cell.ncores, k=cell.k,
+                )
+        outcome: Dict[str, object] = {
             "ok": True,
             "result": result.to_dict(),
             "duration_s": time.perf_counter() - started,
         }
     except Exception as err:
-        return {
+        outcome = {
             "ok": False,
             "error": type(err).__name__,
             "message": str(err),
             "duration_s": time.perf_counter() - started,
         }
+    if tracing:
+        outcome["spans"] = tracer.drain()
+        tracer.adopt(inherited)
+    return outcome
 
 
 def _payload(cell: Cell, attempt: int, options: ExecutorOptions) -> Dict[str, object]:
@@ -308,7 +336,8 @@ def _payload(cell: Cell, attempt: int, options: ExecutorOptions) -> Dict[str, ob
     if attempt > 1:
         backoff = options.backoff_base * (2 ** (attempt - 2))
     return {"cell": cell.to_dict(), "attempt": attempt,
-            "backoff_s": backoff, "timeout": options.cell_timeout}
+            "backoff_s": backoff, "timeout": options.cell_timeout,
+            "trace": options.trace}
 
 
 # ---------------------------------------------------------------------------
@@ -326,6 +355,12 @@ def _make_pool(jobs: int) -> ProcessPoolExecutor:
         # results match the inline path bit for bit
         kwargs["mp_context"] = multiprocessing.get_context("fork")
     return ProcessPoolExecutor(max_workers=jobs, **kwargs)
+
+
+def _ship_spans(events: _EventLog, outcome: Dict[str, object]) -> None:
+    """Write the spans a worker collected for one attempt to the stream."""
+    for record in outcome.get("spans") or ():
+        events.write_raw(record)
 
 
 def _finish(results: Dict[int, CellResult], index: int, cell: Cell,
@@ -420,6 +455,7 @@ def _run_serial(todo: List[Tuple[int, Cell]], options: ExecutorOptions,
             events.emit("cell-start", cell, config=cell.config,
                         threads=cell.threads, attempt=attempt)
             outcome = _execute_cell(_payload(cell, attempt, options))
+            _ship_spans(events, outcome)
             if outcome["ok"]:
                 _finish(results, index, cell, outcome, attempt, cache_dir,
                         events)
@@ -462,6 +498,7 @@ def _run_pool(todo: List[Tuple[int, Cell]], jobs: int,
                     crash_error = err
                 if outcome is None:
                     continue
+                _ship_spans(events, outcome)
                 if outcome["ok"]:
                     _finish(results, index, cell, outcome, attempt,
                             cache_dir, events)

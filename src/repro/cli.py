@@ -61,9 +61,29 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         from .bench.executor import DEFAULT_CACHE_DIR
 
         cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    tracer = None
+    if args.trace:
+        from .obs.trace import configure
+
+        tracer = configure(True)
+        tracer.drain()
     result = LockInference(source, k=args.k,
                            use_effects=not args.no_effects,
                            jobs=args.jobs, cache_dir=cache_dir).run()
+    if tracer is not None:
+        import dataclasses
+
+        from .obs.events import EventWriter, envelope
+
+        records = tracer.drain()
+        tracer.configure(False)
+        with EventWriter(args.trace) as writer:
+            writer.write_all(records)
+            if result.profile is not None:
+                writer.write(envelope(
+                    "metrics", snapshot=dataclasses.asdict(result.profile)))
+        print(f"# {len(records)} trace records -> {args.trace}",
+              file=sys.stderr)
     print(result.describe())
     counts = result.lock_counts()
     print(
@@ -215,10 +235,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         cell_timeout=args.cell_timeout,
         max_attempts=args.retries,
         cache_dir=args.cache_dir,
-        events_path=args.events,
+        # --trace is --events plus per-cell span collection in the workers
+        events_path=args.trace or args.events,
         progress=progress,
+        trace=bool(args.trace),
     )
     outcomes = run_cells(cells, options)
+    if args.trace:
+        print(f"# trace -> {args.trace} "
+              f"(render: python -m repro trace {args.trace} "
+              f"--format summary)", file=sys.stderr)
 
     # render: one table2-style block per thread count
     print()
@@ -337,6 +363,40 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .obs.export import load_events, summarize, to_chrome
+
+    try:
+        events = load_events(args.file)
+    except OSError as err:
+        print(err, file=sys.stderr)
+        return 2
+    if not events:
+        print(f"no events in {args.file}", file=sys.stderr)
+        return 1
+    try:
+        if args.format == "chrome":
+            payload = to_chrome(events)
+            if args.output:
+                with open(args.output, "w") as handle:
+                    json.dump(payload, handle)
+                print(f"{len(payload['traceEvents'])} trace events -> "
+                      f"{args.output} (open in Perfetto / chrome://tracing)")
+            else:
+                json.dump(payload, sys.stdout)
+                print()
+        else:
+            print(summarize(events))
+    except BrokenPipeError:
+        # stdout consumer (head, a pager) closed early: not an error
+        os.close(sys.stdout.fileno())
+        return 0
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     for name, spec in sorted(ALL_BENCHMARKS.items()):
         settings = ", ".join(s or "-" for s in spec.settings)
@@ -367,6 +427,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="print the AnalysisProfile (phase timers, solver "
                         "counters, cache hit rates)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record analysis spans to this JSONL file "
+                        "(render with: repro trace PATH)")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("transform", help="print the lock-based program")
@@ -413,6 +476,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max attempts per cell (timeout/crash retry)")
     p.add_argument("--events", default=None,
                    help="append the JSONL event stream to this file")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="like --events, but workers also collect and ship "
+                        "spans (inference + simulator + executor) into the "
+                        "stream; render with: repro trace PATH")
     p.add_argument("--cache-dir", default=None,
                    help="result cache dir (default benchmarks/results/cache)")
     p.add_argument("--quiet", action="store_true",
@@ -489,6 +556,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events", default=None,
                    help="append the JSONL resilience event log to this file")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "trace",
+        help="render a recorded JSONL trace/event stream",
+    )
+    p.add_argument("file", help="JSONL file from --trace/--events")
+    p.add_argument("--format", choices=("chrome", "summary"),
+                   default="summary",
+                   help="chrome = Perfetto/chrome://tracing JSON; "
+                        "summary = per-phase/per-lock text tables")
+    p.add_argument("-o", "--output", default=None,
+                   help="write chrome JSON here (default: stdout)")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("list-benchmarks", help="list benchmark programs")
     p.set_defaults(func=cmd_list)

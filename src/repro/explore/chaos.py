@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.events import envelope
 from ..runtime.faults import (
     FaultInjector,
     RELEASE_FAULT_KINDS,
@@ -256,11 +257,11 @@ def chaos_cell(
             if canary is not None:
                 outcome.canary = f"[seed {seed}] {canary}"
                 if events is not None:
-                    events.append({
-                        "event": "canary", "program": target.name,
-                        "fault": fault, "policy": policy, "seed": seed,
-                        "kind": canary.split(":")[0],
-                    })
+                    events.append(envelope(
+                        "canary", program=target.name, fault=fault,
+                        policy=policy, seed=seed,
+                        kind=canary.split(":")[0],
+                    ))
                 break
     return outcome
 

@@ -18,7 +18,6 @@ Two performance-oriented entry points sit alongside it:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
@@ -27,9 +26,10 @@ from ..lang import ast, ir, lower_program, parse_program
 from ..locks.effects import RO, RW
 from ..locks.paperlock import Lock
 from ..locks.terms import interning_stats
+from ..obs import trace
 from ..pointer.steensgaard import PointsTo
 from . import diskcache
-from .engine import Engine, SectionLocks
+from .engine import STAT_NAMES, Engine, SectionLocks
 from .libspec import SpecLibrary
 from .schedule import precompute_summaries
 
@@ -215,27 +215,28 @@ class SharedAnalysis:
         cache_dir: Optional[str] = None,
     ):
         self.front_from_disk = False
-        started = time.perf_counter()
-        if isinstance(source, str) and cache_dir:
-            cached = diskcache.load_front(cache_dir, source)
-            if cached is not None:
-                self.program, self.cfgs, self.pointsto = cached
-                self.front_time = time.perf_counter() - started
-                self.pointer_time = 0.0
-                self.front_from_disk = True
-                return
         text = source if isinstance(source, str) else None
-        if isinstance(source, str):
-            source = parse_program(source)
-        if isinstance(source, ast.Program):
-            source = lower_program(source)
-        self.program: ir.LoweredProgram = source
-        self.cfgs: Dict[str, CFG] = build_cfgs(self.program)
-        self.front_time = time.perf_counter() - started
+        with trace.timed("analysis.front", "inference") as front_span:
+            if text is not None and cache_dir:
+                cached = diskcache.load_front(cache_dir, text)
+                if cached is not None:
+                    self.program, self.cfgs, self.pointsto = cached
+                    self.front_from_disk = True
+            if not self.front_from_disk:
+                if isinstance(source, str):
+                    source = parse_program(source)
+                if isinstance(source, ast.Program):
+                    source = lower_program(source)
+                self.program: ir.LoweredProgram = source
+                self.cfgs: Dict[str, CFG] = build_cfgs(self.program)
+        self.front_time = front_span.duration
+        if self.front_from_disk:
+            self.pointer_time = 0.0
+            return
 
-        started = time.perf_counter()
-        self.pointsto: PointsTo = PointsTo(self.program).analyze()
-        self.pointer_time = time.perf_counter() - started
+        with trace.timed("analysis.pointer", "inference") as pointer_span:
+            self.pointsto: PointsTo = PointsTo(self.program).analyze()
+        self.pointer_time = pointer_span.duration
         if text is not None and cache_dir:
             # memoize the pointer fingerprint onto the instance first so
             # the pickled front carries it — warm runs then skip the walk
@@ -333,12 +334,12 @@ class LockInference:
             self.program = self.shared.program
         else:
             self.shared = None
-            started = time.perf_counter()
-            if isinstance(program, str):
-                program = parse_program(program)
-            if isinstance(program, ast.Program):
-                program = lower_program(program)
-            self._front_time = time.perf_counter() - started
+            with trace.timed("analysis.front", "inference") as front_span:
+                if isinstance(program, str):
+                    program = parse_program(program)
+                if isinstance(program, ast.Program):
+                    program = lower_program(program)
+            self._front_time = front_span.duration
             self.program = program
         self.k = k
         self.use_effects = use_effects
@@ -347,6 +348,11 @@ class LockInference:
         self.enable_caches = enable_caches
 
     def run(self) -> InferenceResult:
+        with trace.span("analysis.run", "inference", k=self.k,
+                        jobs=self.jobs, effects=self.use_effects):
+            return self._run()
+
+    def _run(self) -> InferenceResult:
         profile = AnalysisProfile(k=self.k, use_effects=self.use_effects,
                                   jobs=self.jobs)
         if self.shared is not None:
@@ -358,13 +364,13 @@ class LockInference:
                 self.shared, "front_from_disk", False)
             profile.front_time = self.shared.front_time
         else:
-            started = time.perf_counter()
-            pointsto = PointsTo(self.program).analyze()
-            pointer_time = time.perf_counter() - started
-            started = time.perf_counter()
-            cfgs = build_cfgs(self.program)
-            profile.front_time = self._front_time + (
-                time.perf_counter() - started)
+            with trace.timed("analysis.pointer", "inference") as pointer_span:
+                pointsto = PointsTo(self.program).analyze()
+            pointer_time = pointer_span.duration
+            with trace.timed("analysis.front", "inference",
+                             stage="cfg") as cfg_span:
+                cfgs = build_cfgs(self.program)
+            profile.front_time = self._front_time + cfg_span.duration
         profile.pointer_time = pointer_time
 
         result = InferenceResult(
@@ -385,44 +391,46 @@ class LockInference:
         schedule = None
         disk = None
         if self.jobs > 1 or self.cache_dir:
-            started = time.perf_counter()
-            schedule = build_schedule(self.program)
-            profile.schedule_time = time.perf_counter() - started
+            with trace.timed("analysis.schedule", "inference") as sched_span:
+                schedule = build_schedule(self.program)
+            profile.schedule_time = sched_span.duration
             profile.scc_count = len(schedule.sccs)
             profile.level_count = len(schedule.levels)
         if self.cache_dir:
-            started = time.perf_counter()
-            disk = diskcache.open_cache(self.cache_dir, self.program,
-                                        pointsto, self.k, self.use_effects,
-                                        schedule)
-            profile.cache_io_time += time.perf_counter() - started
+            with trace.timed("diskcache.open", "diskcache") as open_span:
+                disk = diskcache.open_cache(self.cache_dir, self.program,
+                                            pointsto, self.k,
+                                            self.use_effects, schedule)
+            profile.cache_io_time += open_span.duration
         engine = Engine(self.program, cfgs, pointsto, k=self.k,
                         use_effects=self.use_effects, specs=self.specs,
                         oracle=oracle, enable_caches=self.enable_caches,
                         disk_cache=disk)
-        started = time.perf_counter()
-        if self.jobs > 1:
-            report = precompute_summaries(engine, schedule, jobs=self.jobs)
-            profile.sccs_run = report.sccs_run
-            profile.level_times = list(report.level_times)
-            profile.scc_times = dict(report.scc_times)
-        for func_name, cfg in cfgs.items():
-            for section in cfg.sections.values():
-                result.sections[section.section_id] = engine.analyze_section(
-                    func_name, section
-                )
-        result.dataflow_time = time.perf_counter() - started
+        with trace.timed("analysis.dataflow", "inference") as flow_span:
+            if self.jobs > 1:
+                report = precompute_summaries(engine, schedule,
+                                              jobs=self.jobs)
+                profile.sccs_run = report.sccs_run
+                profile.level_times = list(report.level_times)
+                profile.scc_times = dict(report.scc_times)
+            for func_name, cfg in cfgs.items():
+                for section in cfg.sections.values():
+                    result.sections[section.section_id] = \
+                        engine.analyze_section(func_name, section)
+        result.dataflow_time = flow_span.duration
         if disk is not None:
-            started = time.perf_counter()
-            disk.store_dirty(engine)
-            profile.cache_io_time += time.perf_counter() - started
+            with trace.timed("diskcache.store-dirty",
+                             "diskcache") as store_span:
+                disk.store_dirty(engine)
+            profile.cache_io_time += store_span.duration
         profile.dataflow_time = result.dataflow_time
         profile.sections = len(result.sections)
-        for name in ("dataflow_steps", "summary_runs", "section_reruns",
-                     "transfer_cache_hits", "transfer_cache_misses",
-                     "transfer_cache_stale", "summaries_from_disk",
-                     "sections_from_disk"):
+        for name in STAT_NAMES:
             setattr(profile, name, engine.stats[name])
+        # the registry's cross-counter invariants (transfer-cache partition)
+        # are enforced at this collection point; python -O downgrades the
+        # failure to a returned report
+        engine.metrics.check_invariants()
         profile.interned_terms = interning_stats()
         return result
 

@@ -37,6 +37,8 @@ import sys
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..cfg import build_schedule, cone_hashes
+from ..obs import trace
+from ..obs.metrics import MetricsRegistry
 
 # bump when the on-disk layout or the meaning of cached values changes
 CACHE_SCHEMA = 1
@@ -93,11 +95,13 @@ def analysis_salt(pointsto, k: int, use_effects: bool) -> str:
 
 
 def _atomic_write(path: str, payload: bytes) -> None:
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "wb") as handle:
-        handle.write(payload)
-    os.replace(tmp, path)
+    with trace.timed("diskcache.write", "diskcache",
+                     file=os.path.basename(path), bytes=len(payload)):
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
 
 
 def _pickle(value) -> bytes:
@@ -127,14 +131,15 @@ class AnalysisDiskCache:
         # the summary table file, read at most once per cache instance:
         # {func_name: (cone_hash, {summary_key: SummaryResult})}
         self._summ_table: Optional[Dict[str, Tuple[str, Dict]]] = None
-        self.stats = {
-            "bundle_hits": 0,
-            "bundle_misses": 0,
-            "bundles_stored": 0,
-            "section_hits": 0,
-            "section_misses": 0,
-            "sections_stored": 0,
-        }
+        self.metrics = MetricsRegistry()
+        self.stats = self.metrics.counter_bundle("diskcache", (
+            "bundle_hits",
+            "bundle_misses",
+            "bundles_stored",
+            "section_hits",
+            "section_misses",
+            "sections_stored",
+        ), help="analysis disk-cache hit/miss/store counters")
 
     # -- keys ----------------------------------------------------------
 
@@ -156,8 +161,12 @@ class AnalysisDiskCache:
         if path is None:
             return None
         try:
-            with open(path, "rb") as handle:
-                return pickle.load(handle)
+            with trace.timed("diskcache.read", "diskcache",
+                             file=os.path.basename(path)) as span:
+                with open(path, "rb") as handle:
+                    payload = handle.read()
+                span.attrs["bytes"] = len(payload)
+                return pickle.loads(payload)
         except FileNotFoundError:
             return None
         except Exception:
@@ -177,8 +186,15 @@ class AnalysisDiskCache:
         record = self._table().get(func_name)
         if record is None or record[0] != self.cone.get(func_name):
             self.stats["bundle_misses"] += 1
+            if trace.get_tracer().enabled:
+                trace.instant(
+                    "cache-bundle", "diskcache", func=func_name,
+                    outcome="miss" if record is None else "stale")
             return None
         self.stats["bundle_hits"] += 1
+        if trace.get_tracer().enabled:
+            trace.instant("cache-bundle", "diskcache", func=func_name,
+                          outcome="hit", entries=len(record[1]))
         return dict(record[1])
 
     def store_dirty(self, engine) -> int:
@@ -209,6 +225,10 @@ class AnalysisDiskCache:
 
     def load_section(self, func_name: str, section_id: str):
         locks = self._read(self._section_path(func_name, section_id))
+        outcome = "miss" if locks is None else "hit"
+        if trace.get_tracer().enabled:
+            trace.instant("cache-section", "diskcache", func=func_name,
+                          section=section_id, outcome=outcome)
         if locks is None:
             self.stats["section_misses"] += 1
             return None

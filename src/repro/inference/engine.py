@@ -77,6 +77,8 @@ from ..locks.terms import (
     term_has_unknown,
     term_size,
 )
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import get_tracer
 from ..pointer.aliasing import AliasOracle
 from ..pointer.steensgaard import PointsTo
 from .libspec import SpecLibrary, reachable_classes
@@ -88,6 +90,18 @@ TermSet = Dict[Term, str]
 CoarseSet = FrozenSet[Tuple[Optional[int], str]]
 
 ACCESS = "$access"
+
+# The engine's solver counters, grouped in one registry-backed bundle.
+STAT_NAMES = (
+    "dataflow_steps",
+    "summary_runs",
+    "section_reruns",
+    "transfer_cache_hits",
+    "transfer_cache_misses",
+    "transfer_cache_stale",
+    "summaries_from_disk",
+    "sections_from_disk",
+)
 
 
 @dataclass(frozen=True)
@@ -198,16 +212,28 @@ class Engine:
         self._substituters: Dict[Tuple[WriteInfo, str], Substituter] = {}
         self._transfer_cache: Dict[tuple, Tuple[int, tuple, FrozenSet]] = {}
         self._backward_ranks: Dict[str, Dict[int, int]] = {}
-        self.stats = {
-            "dataflow_steps": 0,
-            "summary_runs": 0,
-            "section_reruns": 0,
-            "transfer_cache_hits": 0,
-            "transfer_cache_misses": 0,
-            "transfer_cache_stale": 0,
-            "summaries_from_disk": 0,
-            "sections_from_disk": 0,
-        }
+        self._tracer = get_tracer()
+        # solver counters live in a metrics registry; ``stats`` is the
+        # dict-shaped view the rest of the code (and the parallel-merge
+        # path) mutates, so every increment lands in the registry
+        self.metrics = MetricsRegistry()
+        self.stats = self.metrics.counter_bundle(
+            "engine", STAT_NAMES, help="lock-inference solver counters")
+        if enable_caches:
+            # with the transfer cache on, every _transfer call is exactly
+            # one counted miss or one counted stale recompute — double
+            # accounting in _transfer_cached would break this partition
+            stats = self.stats
+            self.metrics.add_invariant(
+                "transfer-cache-partition",
+                lambda _reg: (stats["transfer_cache_misses"]
+                              + stats["transfer_cache_stale"]
+                              == stats["dataflow_steps"]),
+                lambda _reg: (
+                    f"misses {stats['transfer_cache_misses']} + stale "
+                    f"{stats['transfer_cache_stale']} != dataflow_steps "
+                    f"{stats['dataflow_steps']}"),
+            )
 
     # ------------------------------------------------------------------
     # public API
@@ -215,6 +241,17 @@ class Engine:
 
     def analyze_section(self, func_name: str, section: SectionInfo) -> SectionLocks:
         """Infer the lock set protecting one atomic section."""
+        with self._tracer.span("section.analyze", "inference",
+                               func=func_name, section=section.section_id):
+            result = self._analyze_section(func_name, section)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "locks-chosen", "inference", section=section.section_id,
+                func=func_name, k=self.k,
+                locks=sorted(str(lock) for lock in result.locks))
+        return result
+
+    def _analyze_section(self, func_name: str, section: SectionInfo) -> SectionLocks:
         if self._disk is not None:
             locks = self._disk.load_section(func_name, section.section_id)
             if locks is not None:
@@ -317,10 +354,16 @@ class Engine:
     def _solve_summaries(self) -> Set[tuple]:
         """Run the summary fixpoint; returns the keys whose value changed."""
         changed: Set[tuple] = set()
+        tracer = self._tracer
         while self._worklist:
             key = self._worklist.popleft()
             self._queued.discard(key)
-            result = self._compute_summary(key)
+            if tracer.enabled:
+                with tracer.span("summary.compute", "inference",
+                                 func=key[1], kind=key[0]):
+                    result = self._compute_summary(key)
+            else:
+                result = self._compute_summary(key)
             if result != self._summaries.get(key):
                 self._summaries[key] = result
                 self.dirty_funcs.add(key[1])

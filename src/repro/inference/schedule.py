@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from ..cfg import CallSchedule, build_schedule
 from ..lang import ir
+from ..obs import trace
 from .engine import Engine
 
 # The engine a forked worker process inherits; set in the parent
@@ -158,22 +159,25 @@ def precompute_summaries(
     )
     jobs = effective_jobs(jobs)
     report.jobs = jobs
-    if jobs <= 1:
-        _run_serial(engine, schedule, pending, report)
-    else:
-        _run_parallel(engine, schedule, pending, jobs, report)
+    with trace.span("schedule.precompute", "inference", jobs=jobs,
+                    targets=len(targets)):
+        if jobs <= 1:
+            _run_serial(engine, schedule, pending, report)
+        else:
+            _run_parallel(engine, schedule, pending, jobs, report)
     return report
 
 
 def _run_serial(engine: Engine, schedule: CallSchedule,
                 pending: List[List[int]], report: PrecomputeReport) -> None:
-    for level in pending:
+    for number, level in enumerate(pending):
         level_started = time.perf_counter()
         for idx in level:
-            started = time.perf_counter()
-            engine.precompute_funcs(schedule.sccs[idx])
-            report.scc_times[_scc_label(schedule.sccs[idx])] = (
-                time.perf_counter() - started)
+            label = _scc_label(schedule.sccs[idx])
+            with trace.timed("schedule.scc", "inference", scc=label,
+                             level=number) as scc_span:
+                engine.precompute_funcs(schedule.sccs[idx])
+            report.scc_times[label] = scc_span.duration
             report.sccs_run += 1
         if level:
             report.level_times.append(time.perf_counter() - level_started)
@@ -221,12 +225,17 @@ def _solve_scc(payload: Dict[str, object]) -> Dict[str, object]:
     """
     engine = _FORKED_ENGINE
     assert engine is not None, "worker outside a fork-scheduled precompute"
+    tracer = trace.get_tracer()
+    if tracer.enabled:
+        # the fork snapshot carried the parent's span buffer along;
+        # discard it so this task ships only its own spans
+        tracer.drain()
     engine.import_summaries(payload["summaries"])
     before = dict(engine.summary_items())
     stats_before = {name: engine.stats[name] for name in _MERGED_STATS}
-    started = time.perf_counter()
-    engine.precompute_funcs(payload["funcs"])
-    elapsed = time.perf_counter() - started
+    with trace.timed("schedule.chunk", "inference",
+                     funcs=len(payload["funcs"])) as chunk_span:
+        engine.precompute_funcs(payload["funcs"])
     entries = [
         (key, value)
         for key, value in engine.summary_items()
@@ -238,7 +247,8 @@ def _solve_scc(payload: Dict[str, object]) -> Dict[str, object]:
             name: engine.stats[name] - stats_before[name]
             for name in _MERGED_STATS
         },
-        "elapsed": elapsed,
+        "elapsed": chunk_span.duration,
+        "spans": tracer.drain() if tracer.enabled else [],
     }
 
 
@@ -303,18 +313,26 @@ def _run_parallel(engine: Engine, schedule: CallSchedule,
                     ],
                 }
                 futures.append((chunk, pool.submit(_solve_scc, payload)))
-            for chunk, future in futures:
-                outcome = future.result()
-                engine.import_summaries(outcome["entries"])
-                for key, value in outcome["entries"]:
-                    delta[key] = value
-                for name, count in outcome["stats"].items():
-                    engine.stats[name] += count
-                label = _scc_label(schedule.sccs[chunk[0]])
-                if len(chunk) > 1:
-                    label += f"[chunk of {len(chunk)}]"
-                report.scc_times[label] = outcome["elapsed"]
-                report.sccs_run += len(chunk)
+            tracer = trace.get_tracer()
+            if tracer.enabled:
+                tracer.instant("schedule.fan-out", "inference",
+                               chunks=len(futures), sccs=len(level))
+            with trace.span("schedule.merge", "inference",
+                            chunks=len(futures)):
+                for chunk, future in futures:
+                    outcome = future.result()
+                    engine.import_summaries(outcome["entries"])
+                    for key, value in outcome["entries"]:
+                        delta[key] = value
+                    for name, count in outcome["stats"].items():
+                        engine.stats[name] += count
+                    if outcome.get("spans"):
+                        tracer.adopt(outcome["spans"])
+                    label = _scc_label(schedule.sccs[chunk[0]])
+                    if len(chunk) > 1:
+                        label += f"[chunk of {len(chunk)}]"
+                    report.scc_times[label] = outcome["elapsed"]
+                    report.sccs_run += len(chunk)
             report.level_times.append(time.perf_counter() - level_started)
     finally:
         if pool is not None:

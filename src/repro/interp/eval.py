@@ -38,6 +38,7 @@ from ..locks.terms import (
     TStar,
     TVar,
 )
+from ..obs.trace import get_tracer
 from ..pointer.steensgaard import PointsTo
 from ..runtime.api import ThreadLockState, acquire_all, plan_requests, release_all
 from ..runtime.faults import FaultInjector
@@ -134,6 +135,7 @@ class ThreadExec:
         self.tx_attempts_total = 0
         self._fresh_objs: List = []  # objects allocated in the open section
         self.current_func: Optional[str] = None  # innermost active function
+        self._section_token = None  # open tick-clock span of the section
 
     def _tag_fresh(self, loc: Loc) -> None:
         """Objects allocated inside an open locks-mode section are private
@@ -532,6 +534,10 @@ class ThreadExec:
                 # have been open when the abort surfaced)
                 self.lock_state.nlevel = 0
                 self.instance = None
+                if self._section_token is not None:
+                    get_tracer().end_section(self._section_token,
+                                             outcome="aborted")
+                    self._section_token = None
                 for obj in self._fresh_objs:
                     obj.fresh_owner = None
                 self._fresh_objs.clear()
@@ -551,6 +557,16 @@ class ThreadExec:
         if state.nlevel > 1:
             yield 1
             return
+        tracer = get_tracer()
+        if tracer.enabled:
+            # the span opens before acquisition so the per-node "blocked"
+            # spans from acquire_all nest inside it — that is what lets a
+            # trace attribute a section's latency to specific lock terms
+            self._section_token = tracer.begin_section(
+                self.tid, f"section:{instr.section_id}",
+                section=instr.section_id,
+                locks=sorted(str(lock) for lock in instr.locks),
+            )
 
         def evaluate(lock):
             return self.eval_lock_term(frame, lock.term)
@@ -572,7 +588,8 @@ class ThreadExec:
                 plan = faults.apply(plan)
             yield max(1, len(instr.locks))  # descriptor evaluation cost
             yield from acquire_all(self.world.lock_manager, self.tid, plan,
-                                   runtime=runtime)
+                                   runtime=runtime,
+                                   section_id=instr.section_id)
             if degraded:
                 # the single global X lock protects everything; there are
                 # no fine-grain terms left to revalidate
@@ -650,6 +667,10 @@ class ThreadExec:
                 # the section's writes are final (even under a lost
                 # release: the leaked locks are reclaimed, not rolled back)
                 runtime.section_committed(self.tid)
+            if self._section_token is not None:
+                get_tracer().end_section(self._section_token,
+                                         outcome="committed")
+                self._section_token = None
         else:
             yield 1
         state.nlevel -= 1

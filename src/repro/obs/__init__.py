@@ -1,0 +1,34 @@
+"""repro.obs — zero-dependency tracing, metrics, and the event envelope.
+
+Three pieces, all stdlib-only:
+
+* :mod:`repro.obs.trace` — a process-global :class:`~repro.obs.trace.Tracer`
+  emitting nested spans on the wall clock and the simulator tick clock;
+  compiled to no-ops while disabled (the default; overhead is benchmarked
+  in ``benchmarks/bench_obs.py``);
+* :mod:`repro.obs.metrics` — a :class:`~repro.obs.metrics.MetricsRegistry`
+  of counter/gauge/histogram families backing the engine, scheduler and
+  lock-manager statistics, with registered cross-counter invariants;
+* :mod:`repro.obs.events` — envelope v1, the one JSONL schema every event
+  stream (executor, resilience, chaos, tracer) validates against, plus
+  :mod:`repro.obs.export` turning a stream into a Chrome/Perfetto trace or
+  a text flame summary (``python -m repro trace``).
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and usage.
+"""
+
+from .events import (EVENT_KINDS, SCHEMA_VERSION, EventWriter, SchemaError,
+                     envelope, upgrade_legacy, validate_event)
+from .export import load_events, summarize, to_chrome
+from .metrics import (DEFAULT_BUCKETS, Counter, CounterBundle, Gauge,
+                      Histogram, InvariantError, MetricsRegistry)
+from .trace import Tracer, configure, get_tracer, instant, span, timed
+
+__all__ = [
+    "EVENT_KINDS", "SCHEMA_VERSION", "EventWriter", "SchemaError",
+    "envelope", "upgrade_legacy", "validate_event",
+    "load_events", "summarize", "to_chrome",
+    "DEFAULT_BUCKETS", "Counter", "CounterBundle", "Gauge", "Histogram",
+    "InvariantError", "MetricsRegistry",
+    "Tracer", "configure", "get_tracer", "instant", "span", "timed",
+]

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..locks.paperlock import Lock
+from ..obs.trace import get_tracer
 from ..sim.scheduler import TRY
 from .manager import LockManager, ROOT, canonical_order
 from .modes import combine, intention_for_effect, mode_for_effect
@@ -70,7 +71,7 @@ def plan_requests(
 
 def acquire_all(manager: LockManager, tid: int,
                 ordered_requests: List[Tuple[object, str]],
-                runtime=None):
+                runtime=None, section_id: Optional[str] = None):
     """Simulator coroutine acquiring the planned requests top-down in order.
 
     With a :class:`~repro.runtime.resilience.ResilienceRuntime` attached,
@@ -82,6 +83,7 @@ def acquire_all(manager: LockManager, tid: int,
     """
     from .resilience import SectionAbort  # runtime import: avoid cycle
 
+    tracer = get_tracer()
     manager.stats.acquires += 1
     for name, mode in ordered_requests:
         yield 1  # protocol work per node (the multi-grain overhead)
@@ -89,6 +91,7 @@ def acquire_all(manager: LockManager, tid: int,
             raise SectionAbort(runtime.abort_reason(tid))
         acquired = manager.try_acquire_node(tid, name, mode)
         if not acquired:
+            wait_from = tracer.now_ticks if tracer.enabled else 0
             if runtime is None:
                 yield (TRY, lambda name=name, mode=mode:
                        manager.try_acquire_node(tid, name, mode))
@@ -100,6 +103,10 @@ def acquire_all(manager: LockManager, tid: int,
                        or manager.try_acquire_node(tid, name, mode))
                 if runtime.abort_pending(tid):
                     raise SectionAbort(runtime.abort_reason(tid))
+            if tracer.enabled:
+                tracer.tick_span(tid, "blocked", wait_from, tracer.now_ticks,
+                                 node=str(name), mode=mode,
+                                 section=section_id)
 
 
 def release_all(manager: LockManager, tid: int):

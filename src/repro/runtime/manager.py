@@ -17,9 +17,9 @@ every other holder's mode *and* with every earlier still-waiting request
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry
 from .modes import combine, compatible
 
 
@@ -72,11 +72,41 @@ ROOT = ("root",)
 _NO_NAMES: frozenset = frozenset()
 
 
-@dataclass
 class LockStats:
-    acquires: int = 0
-    node_acquires: int = 0
-    blocks: int = 0
+    """Lock-manager counters, registry-backed.
+
+    Attribute reads and writes (``stats.acquires += 1``) keep their
+    historical surface; the values live in a plain dict the registry
+    adopts as the ``lock.events`` counter family, so snapshots and trace
+    exports see them without a second accounting path.
+    """
+
+    __slots__ = ("_values",)
+
+    NAMES = ("acquires", "node_acquires", "blocks")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        values = {name: 0 for name in self.NAMES}
+        object.__setattr__(self, "_values", values)
+        if registry is not None:
+            registry.adopt_counter_dict(
+                "lock.events", values, "kind",
+                help="lock-manager protocol counters")
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value: int) -> None:
+        if name not in self._values:
+            raise AttributeError(f"unknown lock counter {name!r}")
+        self._values[name] = value
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self._values.items())
+        return f"LockStats({inner})"
 
 
 class LockManager:
@@ -93,7 +123,8 @@ class LockManager:
         # on a node the thread never acquired outlives the section and
         # poisons every later can_grant FIFO check
         self._waiting: Dict[int, Dict[object, LockNode]] = {}
-        self.stats = LockStats()
+        self.metrics = MetricsRegistry()
+        self.stats = LockStats(self.metrics)
 
     def node(self, name: object) -> LockNode:
         existing = self.nodes.get(name)

@@ -49,6 +49,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..memory import Heap, Loc
+from ..obs.events import envelope
+from ..obs.trace import get_tracer
 from .manager import LockManager, ROOT
 from .modes import X, compatible
 
@@ -298,9 +300,15 @@ class ResilienceRuntime:
     # -- events ---------------------------------------------------------------
 
     def _emit(self, event: str, **payload: object) -> None:
-        record: Dict[str, object] = {"event": event, "tick": self.now}
-        record.update(payload)
+        record = envelope(event, tick=self.now, **payload)
         self.events.append(record)
+        tracer = get_tracer()
+        if tracer.enabled:
+            # the same dict rides in both streams: a consumer tagging the
+            # runtime's copy (repro chaos adds program/fault/seed) tags
+            # the traced copy too, which is what correlation wants
+            tracer.event(record)
+            tracer.tick_instant(0, event, cat="resilience", **payload)
 
     # -- interpreter hooks ----------------------------------------------------
 

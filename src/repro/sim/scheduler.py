@@ -34,11 +34,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generator, List, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import get_tracer
 from .deadline import CHECK_EVERY_TICKS, check_deadline
 from .policy import RoundRobinPolicy, SchedulingPolicy
 
 WORK = "work"
 TRY = "try"
+
+# While tracing is enabled, one occupancy counter sample (runnable /
+# blocked / chosen) is emitted every this-many ticks; per-tick samples
+# would dominate the trace for zero extra signal.
+OCCUPANCY_SAMPLE_TICKS = 64
 
 
 class DeadlockError(RuntimeError):
@@ -64,6 +71,35 @@ class SimStats:
     per_thread_work: Dict[int, int] = field(default_factory=dict)
     per_thread_blocked: Dict[int, int] = field(default_factory=dict)
     per_thread_failed_tries: Dict[int, int] = field(default_factory=dict)
+    _registry: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False)
+
+    def bind(self, registry: MetricsRegistry) -> None:
+        """Adopt the per-thread dicts as labeled counter families.
+
+        The dicts stay the storage, so the scheduler's hot-loop
+        ``per_thread_work[tid] += 1`` increments keep their plain-dict
+        cost; the registry reads them only at snapshot time.
+        """
+        self._registry = registry
+        registry.adopt_counter_dict(
+            "sim.thread.work", self.per_thread_work, "tid",
+            help="work units per simulated thread")
+        registry.adopt_counter_dict(
+            "sim.thread.blocked", self.per_thread_blocked, "tid",
+            help="blocked ticks per simulated thread")
+        registry.adopt_counter_dict(
+            "sim.thread.failed_tries", self.per_thread_failed_tries, "tid",
+            help="failed TRY attempts per simulated thread")
+
+    def publish(self) -> None:
+        """Mirror the scalar totals into the bound registry's gauges."""
+        if self._registry is None:
+            return
+        totals = self._registry.gauge("sim.totals", ("name",),
+                                      help="scheduler run totals")
+        for name in ("ticks", "work_done", "blocked_ticks", "failed_tries"):
+            totals.labels(name).set(getattr(self, name))
 
     @property
     def utilization(self) -> float:
@@ -122,7 +158,9 @@ class Scheduler:
         # can break the cycle by aborting a victim
         self.watchdog = watchdog
         self.threads: List[SimThread] = []
+        self.metrics = MetricsRegistry()
         self.stats = SimStats(ncores=ncores)
+        self.stats.bind(self.metrics)
         self._block_counter = 0
         self._stall = 0  # consecutive no-progress ticks with blocked threads
 
@@ -187,7 +225,20 @@ class Scheduler:
     # -- main loop -------------------------------------------------------------
 
     def run(self) -> SimStats:
+        tracer = get_tracer()
+        with tracer.span("sim.run", "runtime", ncores=self.ncores,
+                         threads=len(self.threads)):
+            try:
+                return self._run_loop(tracer)
+            finally:
+                self.stats.publish()
+
+    def _run_loop(self, tracer) -> SimStats:
         while True:
+            if tracer.enabled:
+                # eval/runtime hooks read the current tick off the tracer
+                # when opening/closing tick-clock spans
+                tracer.now_ticks = self.stats.ticks
             unfinished = [t for t in self.threads if t.state != "done"]
             if not unfinished:
                 return self.stats
@@ -240,7 +291,15 @@ class Scheduler:
             chosen = self.policy.choose(runnable, self.ncores, self.stats.ticks)
             if not chosen:
                 chosen = runnable[:1]
+            if tracer.enabled and self.stats.ticks % OCCUPANCY_SAMPLE_TICKS == 0:
+                tracer.sample("sim.occupancy", {
+                    "runnable": len(runnable),
+                    "blocked": len(blocked),
+                    "chosen": len(chosen),
+                })
             self.stats.ticks += 1
+            if tracer.enabled:
+                tracer.now_ticks = self.stats.ticks
             finished = False
             for thread in chosen:
                 did_work = self._advance(thread)
