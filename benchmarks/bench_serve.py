@@ -1,0 +1,212 @@
+"""Serving benchmark: warm server analyze vs cold-process ``repro analyze``.
+
+The point of ``repro serve`` is amortization: interpreter startup, parse,
+lower, CFG construction, pointer analysis, and the solve itself all stay
+resident, so a repeat analysis of an unchanged source costs one socket
+round-trip and a memo lookup.  This benchmark quantifies that over the
+Table 1 k=9 column (the STAMP corpus, plus the synthetic SPEC rows unless
+``--quick``) and writes ``BENCH_serve.json`` at the repo root:
+
+* **cold** — one fresh ``python -m repro analyze <file> --k 9
+  --no-disk-cache`` subprocess per program: what a scripted sweep pays
+  without the server;
+* **warm** — one fresh :class:`ServeClient` connection per program
+  against an already-warmed server: connect, request, response.
+
+The acceptance bar is ``MIN_SPEEDUP`` (warm total at least 5x faster than
+cold total); ``--check-baseline`` enforces it and additionally compares
+the fresh warm total against the committed JSON with a regression factor,
+mirroring ``bench_analysis_speed.py``.
+
+Run standalone (``python benchmarks/bench_serve.py [--quick]
+[--check-baseline]``) or under pytest
+(``pytest benchmarks/bench_serve.py``).
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import emit_report  # noqa: E402
+from repro.bench.configs import STAMP_BENCHMARKS  # noqa: E402
+from repro.bench.programs.spec import spec_sources  # noqa: E402
+from repro.serve import AnalysisServer, ServeClient  # noqa: E402
+
+SPEC_SCALE = 0.05  # matches bench_analysis_speed.py
+K = 9
+
+# warm server analyze must beat the cold-process path by at least this
+MIN_SPEEDUP = 5.0
+# --check-baseline also fails if fresh warm total exceeds the committed
+# one by more than this factor
+REGRESSION_FACTOR = 1.5
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_serve.json")
+
+SRC_DIR = os.path.normpath(os.path.join(os.path.dirname(__file__), "..",
+                                        "src"))
+
+
+def corpus(quick: bool = False):
+    sources = {} if quick else dict(spec_sources(scale=SPEC_SCALE))
+    for name, spec in STAMP_BENCHMARKS.items():
+        sources[name] = spec.source
+    return sources
+
+
+def _cold_process(path: str) -> float:
+    env = dict(os.environ, PYTHONPATH=SRC_DIR)
+    started = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", "repro", "analyze", path, "--k", str(K),
+         "--no-disk-cache"],
+        env=env, check=True, stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL)
+    return time.perf_counter() - started
+
+
+def measure(quick: bool = False):
+    sources = corpus(quick)
+    workdir = tempfile.mkdtemp(prefix="bench-serve-")
+    socket_path = os.path.join(workdir, "serve.sock")
+    server = AnalysisServer(socket_path=socket_path,
+                            cache_dir=os.path.join(workdir, "cache"))
+    server.start()
+    rows = {}
+    cold_total = warm_total = 0.0
+    try:
+        # write each program to a file for the cold-process runs, and warm
+        # the server with one computing round
+        paths = {}
+        with ServeClient(socket_path=socket_path) as client:
+            for name, source in sorted(sources.items()):
+                path = os.path.join(workdir, f"{name}.mc")
+                with open(path, "w") as handle:
+                    handle.write(source)
+                paths[name] = path
+                client.analyze(source, k=K)
+
+        for name, source in sorted(sources.items()):
+            cold_s = _cold_process(paths[name])
+            started = time.perf_counter()
+            with ServeClient(socket_path=socket_path) as client:
+                response = client.analyze(source, k=K)
+            warm_s = time.perf_counter() - started
+            assert response["served"] in ("memo", "warm"), response["served"]
+            cold_total += cold_s
+            warm_total += warm_s
+            rows[name] = {
+                "cold_process_s": round(cold_s, 4),
+                "warm_serve_s": round(warm_s, 4),
+                "speedup": round(cold_s / warm_s, 1),
+                "served": response["served"],
+            }
+    finally:
+        server.stop(timeout=30)
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "benchmark": "serve-warm-vs-cold-process",
+        "quick": quick,
+        "k": K,
+        "spec_scale": SPEC_SCALE,
+        "programs": rows,
+        "cold_total_s": round(cold_total, 3),
+        "warm_total_s": round(warm_total, 3),
+        "speedup": round(cold_total / warm_total, 1),
+        "min_speedup": MIN_SPEEDUP,
+    }
+
+
+def render(report) -> str:
+    lines = [f"{'Program':12s} {'cold proc (s)':>14s} {'warm serve (s)':>15s} "
+             f"{'speedup':>8s} {'served':>9s}"]
+    for name, row in sorted(report["programs"].items()):
+        lines.append(
+            f"{name:12s} {row['cold_process_s']:14.3f} "
+            f"{row['warm_serve_s']:15.4f} {row['speedup']:7.0f}x "
+            f"{row['served']:>9s}"
+        )
+    lines.append(
+        f"{'TOTAL':12s} {report['cold_total_s']:14.3f} "
+        f"{report['warm_total_s']:15.4f} {report['speedup']:7.0f}x"
+    )
+    lines.append(
+        f"warm server vs cold process: {report['speedup']:.0f}x "
+        f"(bar: >= {report['min_speedup']:.0f}x)"
+    )
+    return "\n".join(lines)
+
+
+def write_json(report) -> str:
+    path = os.path.abspath(JSON_PATH)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def check_baseline(report, path=None) -> bool:
+    """Enforce the speedup bar, and the regression gate when a committed
+    ``BENCH_serve.json`` exists."""
+    ok = report["speedup"] >= MIN_SPEEDUP
+    verdict = "OK" if ok else "TOO SLOW"
+    print(f"speedup gate: {report['speedup']:.1f}x vs required "
+          f"{MIN_SPEEDUP:.0f}x -> {verdict}")
+    path = os.path.abspath(path or JSON_PATH)
+    try:
+        with open(path) as handle:
+            committed = json.load(handle)
+        baseline = float(committed["warm_total_s"])
+    except (OSError, ValueError, KeyError):
+        print(f"no committed baseline at {path}; skipping the "
+              "regression gate")
+        return ok
+    fresh = report["warm_total_s"]
+    limit = baseline * REGRESSION_FACTOR
+    verdict = "OK" if fresh <= limit else "REGRESSION"
+    print(f"baseline gate: warm {fresh:.3f}s vs committed "
+          f"{baseline:.3f}s (limit {limit:.3f}s) -> {verdict}")
+    return ok and fresh <= limit
+
+
+def test_serve_speed(benchmark):
+    benchmark.group = "serve"
+
+    report = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["cold_total_s"] = report["cold_total_s"]
+    benchmark.extra_info["warm_total_s"] = report["warm_total_s"]
+    benchmark.extra_info["speedup"] = report["speedup"]
+    write_json(report)
+    emit_report(
+        "serve_speed",
+        f"Serving: warm server analyze vs cold-process repro analyze "
+        f"(k={K})",
+        render(report),
+    )
+    assert report["programs"]
+    assert report["speedup"] >= MIN_SPEEDUP
+
+
+def main(argv=None) -> int:
+    argv = list(argv if argv is not None else sys.argv[1:])
+    quick = "--quick" in argv
+    gate = "--check-baseline" in argv
+    report = measure(quick=quick)
+    print(render(report))
+    ok = True
+    if gate:
+        ok = check_baseline(report)
+    if not quick and not gate:
+        path = write_json(report)
+        print(f"wrote {path}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,8 +45,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..obs.events import envelope
 from ..obs.trace import get_tracer
 from ..sim.deadline import DeadlineExceeded, clear_deadline, set_deadline
-from .configs import ALL_BENCHMARKS, CONFIGS, BenchSpec
-from .harness import RunResult, run_benchmark
+from .configs import ALL_BENCHMARKS, CONFIG_K, CONFIGS, BenchSpec
+from .harness import RunResult, run_benchmark, seed_inference_cache
 
 CACHE_VERSION = 1
 
@@ -121,6 +121,7 @@ class ExecutorOptions:
     events_path: Optional[str] = None  # JSONL event stream
     progress: Optional[Callable[[Dict[str, object]], None]] = None
     trace: bool = False  # collect spans in workers, ship into the stream
+    serve_via: Optional[str] = None  # analysis-server socket to warm from
 
     def resolved_jobs(self) -> int:
         return max(1, self.jobs if self.jobs is not None else
@@ -391,6 +392,32 @@ def _fail(results: Dict[int, CellResult], index: int, cell: Cell,
                 error=outcome.get("error"), message=outcome.get("message"))
 
 
+def _warm_from_server(todo: List[Tuple[int, "Cell"]], serve_via: str,
+                      events: _EventLog) -> int:
+    """Pre-populate the inference memo from a running analysis server.
+
+    One warm request per unique (source, k) of the pending cells; the
+    seeded results land in the coordinator's per-process cache *before*
+    the pool forks, so every worker inherits them and no cell re-runs
+    the analysis locally.
+    """
+    from ..serve.client import fetch_inference
+
+    wanted = {}
+    for _index, cell in todo:
+        spec = ALL_BENCHMARKS.get(cell.bench)
+        if spec is None:
+            continue
+        k = cell.k if cell.k is not None else CONFIG_K.get(cell.config, 9)
+        wanted[(spec.source, k)] = None
+    for source, k in wanted:
+        seed_inference_cache(source, k,
+                             fetch_inference(source, k,
+                                             socket_path=serve_via))
+    events.emit("serve-warm", socket=serve_via, entries=len(wanted))
+    return len(wanted)
+
+
 def run_cells(cells: Sequence[Cell],
               options: Optional[ExecutorOptions] = None) -> List[CellResult]:
     """Execute *cells*, returning one :class:`CellResult` per cell in order.
@@ -400,6 +427,11 @@ def run_cells(cells: Sequence[Cell],
     ``max_attempts`` tries.  With ``options.resume`` cells whose content
     hash is already in the cache are served from it (emitting a
     ``cache-hit`` event) without re-running.
+
+    Ctrl-C is a clean abort, not a mess of orphans: the coordinator
+    cancels pending cells, terminates pool workers, closes the JSONL
+    stream with a final ``sweep-end`` record carrying ``aborted: true``,
+    and re-raises ``KeyboardInterrupt`` (the CLI maps it to exit 130).
     """
     options = options if options is not None else ExecutorOptions()
     jobs = options.resolved_jobs()
@@ -408,6 +440,7 @@ def run_cells(cells: Sequence[Cell],
     started = time.perf_counter()
     results: Dict[int, CellResult] = {}
     todo: List[Tuple[int, Cell]] = []
+    aborted = False
 
     events.emit("sweep-start", cells=len(cells), jobs=jobs,
                 resume=options.resume)
@@ -429,10 +462,15 @@ def run_cells(cells: Sequence[Cell],
             else:
                 todo.append((index, cell))
 
+        if options.serve_via and todo:
+            _warm_from_server(todo, options.serve_via, events)
         if jobs <= 1 or len(todo) <= 1:
             _run_serial(todo, options, cache_dir, results, events)
         else:
             _run_pool(todo, jobs, options, cache_dir, results, events)
+    except KeyboardInterrupt:
+        aborted = True
+        raise
     finally:
         ok = sum(1 for r in results.values() if r.ok)
         events.emit(
@@ -442,6 +480,7 @@ def run_cells(cells: Sequence[Cell],
             errors=len(results) - ok,
             cached=sum(1 for r in results.values() if r.cached),
             duration_s=round(time.perf_counter() - started, 4),
+            aborted=aborted,
         )
         events.close()
     return [results[i] for i in sorted(results)]
@@ -474,6 +513,7 @@ def _run_pool(todo: List[Tuple[int, Cell]], jobs: int,
               results: Dict[int, CellResult], events: _EventLog) -> None:
     pool = _make_pool(jobs)
     pending: Dict[object, Tuple[int, Cell, int]] = {}
+    interrupted = False
 
     def submit(index: int, cell: Cell, attempt: int) -> None:
         future = pool.submit(_execute_cell, _payload(cell, attempt, options))
@@ -529,8 +569,27 @@ def _run_pool(todo: List[Tuple[int, Cell]], jobs: int,
                         submit(index, cell, attempt + 1)
                     else:
                         _fail(results, index, cell, outcome, attempt, events)
+    except KeyboardInterrupt:
+        # don't orphan the workers: cancel what hasn't started, terminate
+        # what has (the cells are deterministic and re-runnable), and let
+        # the interrupt propagate so run_cells can close the stream
+        interrupted = True
+        for future in pending:
+            future.cancel()
+        pending.clear()
+        pool.shutdown(wait=False, cancel_futures=True)
+        procs = list((getattr(pool, "_processes", None) or {}).values())
+        for proc in procs:
+            try:
+                proc.terminate()
+            except (OSError, ValueError):
+                pass
+        for proc in procs:
+            proc.join(timeout=2.0)
+        raise
     finally:
-        pool.shutdown(wait=True)
+        if not interrupted:
+            pool.shutdown(wait=True)
 
 
 # ---------------------------------------------------------------------------

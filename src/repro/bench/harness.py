@@ -86,6 +86,17 @@ def inference_for(source: str, k: int) -> InferenceResult:
     return _CACHE.get(source, k)
 
 
+def seed_inference_cache(source: str, k: int,
+                         result: InferenceResult) -> None:
+    """Install an externally computed result into the per-process memo.
+
+    The executor's ``--serve-via`` path fetches results from a running
+    analysis server and seeds them here *before* the worker pool forks,
+    so every forked worker inherits the warm entries and no cell pays
+    for the analysis locally."""
+    _CACHE._cache[(hash(source), k)] = result
+
+
 def run_seq(world: World, func: str, args: Sequence[int] = ()) -> object:
     """Drive one call to completion in sequential mode (setup phases)."""
     gen = ThreadExec(world, tid=10_000, mode="seq").call(func, list(args))

@@ -24,6 +24,14 @@ Commands:
   as live progress;
 * ``bench-table2 [--ops N]`` / ``bench-figure7`` — regenerate a paper
   experiment from the command line;
+* ``serve --socket PATH [--cache-dir D] [--max-inflight N]
+  [--queue-depth N] [--deadline S] [--events PATH]`` — run the long-lived
+  analysis service: interned programs, pointer results, and the disk
+  cache stay resident across requests, so repeat analyses cost a lookup
+  (see docs/SERVING.md); SIGTERM/SIGINT drain gracefully;
+* ``client <analyze|status|flush|shutdown> [--socket PATH] …`` — thin
+  client for a running server; ``client analyze FILE`` prints exactly
+  what ``analyze FILE`` would;
 * ``explore <program|all> [--policy P] [--seed S] [--schedules N]
   [--inject-fault KIND] [--diff]`` — schedule exploration with the race
   detector, protection checker, and serializability auditor armed;
@@ -239,8 +247,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         events_path=args.trace or args.events,
         progress=progress,
         trace=bool(args.trace),
+        serve_via=args.serve_via,
     )
-    outcomes = run_cells(cells, options)
+    try:
+        outcomes = run_cells(cells, options)
+    except KeyboardInterrupt:
+        # run_cells already cancelled pending cells, terminated the pool
+        # workers, and closed the event stream with aborted: true
+        print("\nsweep aborted (Ctrl-C): workers stopped, "
+              "event stream closed", file=sys.stderr)
+        return 130
     if args.trace:
         print(f"# trace -> {args.trace} "
               f"(render: python -m repro trace {args.trace} "
@@ -267,6 +283,93 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   f"x{outcome.cell.threads}: {outcome.error}: "
                   f"{outcome.message}", file=sys.stderr)
     return 1 if errors else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .serve import AnalysisServer
+
+    if args.no_disk_cache:
+        cache_dir = None
+    else:
+        from .bench.executor import DEFAULT_CACHE_DIR
+
+        cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    server = AnalysisServer(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        cache_dir=cache_dir,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        deadline_s=args.deadline,
+        events_path=args.events,
+    )
+
+    def _on_signal(signum, frame):
+        server.initiate_shutdown()
+
+    for signame in ("SIGTERM", "SIGINT"):
+        if hasattr(signal, signame):
+            signal.signal(getattr(signal, signame), _on_signal)
+    server.start()
+    print(f"serving on {server.address} "
+          f"(max-inflight {server.max_inflight}, "
+          f"queue {server.queue_depth})", file=sys.stderr, flush=True)
+    server.serve_forever()
+    print("server drained, exiting", file=sys.stderr)
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import ServeClient, ServeError
+
+    if args.action == "analyze" and not args.file:
+        print("client analyze needs a FILE argument", file=sys.stderr)
+        return 2
+    try:
+        client = ServeClient(socket_path=args.socket, host=args.host,
+                             port=args.port, timeout=args.timeout)
+    except OSError as err:
+        print(f"cannot connect to {args.socket or args.host}: {err}",
+              file=sys.stderr)
+        return 2
+    with client:
+        try:
+            if args.action == "analyze":
+                source = _read_source(args.file)
+                response = client.analyze(
+                    source, k=args.k, use_effects=not args.no_effects,
+                    deadline_s=args.deadline)
+                # mirror ``repro analyze`` line for line, so the two paths
+                # are interchangeable (and diffable) for any script
+                print(response["sections"])
+                counts = response["counts"]
+                print(
+                    f"\nlocks: {counts['fine_ro']} fine-ro, "
+                    f"{counts['fine_rw']} fine-rw, "
+                    f"{counts['coarse_ro']} coarse-ro, "
+                    f"{counts['coarse_rw']} coarse-rw, "
+                    f"{counts['global_locks']} global"
+                )
+                print(f"analysis time: {response['analysis_time']:.3f}s "
+                      f"(pointer {response['pointer_time']:.3f}s, "
+                      f"dataflow {response['dataflow_time']:.3f}s)")
+                print(f"# served: {response['served']}", file=sys.stderr)
+                if args.profile and response.get("profile"):
+                    print(json.dumps(response["profile"], indent=2,
+                                     sort_keys=True))
+            else:
+                response = client.request(args.action)
+                print(json.dumps(response, indent=2, sort_keys=True))
+        except ServeError as err:
+            print(f"server error [{err.code}]: {err.message}",
+                  file=sys.stderr)
+            return 3
+    return 0
 
 
 def cmd_bench_figure7(args: argparse.Namespace) -> int:
@@ -484,7 +587,61 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result cache dir (default benchmarks/results/cache)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress live progress lines")
+    p.add_argument("--serve-via", default=None, metavar="SOCKET",
+                   help="warm the inference memo from a running "
+                        "'repro serve' instance at this Unix socket "
+                        "before dispatching cells")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived analysis service (see docs/SERVING.md)",
+    )
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="Unix domain socket path to listen on")
+    p.add_argument("--host", default=None,
+                   help="TCP host to listen on instead of --socket")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral; printed at startup)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent analysis cache root (default "
+                        "benchmarks/results/cache)")
+    p.add_argument("--no-disk-cache", action="store_true",
+                   help="serve from memory only; no on-disk cache")
+    p.add_argument("--max-inflight", type=int, default=2,
+                   help="analyze worker threads (default 2)")
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="bounded request queue; a full queue answers "
+                        "with a structured backpressure error (default 8)")
+    p.add_argument("--deadline", type=float, default=60.0,
+                   help="per-request wall-clock budget in seconds "
+                        "(default 60; requests may lower it)")
+    p.add_argument("--events", default=None, metavar="PATH",
+                   help="append serve lifecycle/request events (v1 "
+                        "envelope JSONL) to this file")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running 'repro serve' instance",
+    )
+    p.add_argument("action",
+                   choices=("analyze", "status", "flush", "shutdown"))
+    p.add_argument("file", nargs="?", default=None,
+                   help="mini-C file (analyze only)")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="server Unix socket path")
+    p.add_argument("--host", default=None, help="server TCP host")
+    p.add_argument("--port", type=int, default=0, help="server TCP port")
+    p.add_argument("--k", type=int, default=9)
+    p.add_argument("--no-effects", action="store_true")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request wall-clock budget override")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="client socket timeout in seconds")
+    p.add_argument("--profile", action="store_true",
+                   help="print the server-side AnalysisProfile as JSON")
+    p.set_defaults(func=cmd_client)
 
     p = sub.add_parser("bench-table2", help="regenerate Table 2")
     p.add_argument("--threads", type=int, default=8)

@@ -26,6 +26,25 @@ stays warm.
 Entries are pickled with the interned-term ``__reduce__`` hooks, so terms
 re-intern on load; writes go through a temp file + ``os.replace`` so
 concurrent runs sharing a cache root never observe torn files.
+
+Concurrency discipline (the cache is shared by parallel ``repro analyze``
+processes, bench-executor workers, and the ``repro serve`` worker
+threads):
+
+* pickling raises the process-global recursion limit, so the whole
+  raise/dump/restore is serialized on a module lock — without it two
+  threads restore each other's limits mid-dump;
+* the per-salt summary table is merge-and-replaced under an advisory
+  ``fcntl.flock`` (with a bounded timeout) taken on a sidecar ``.lock``
+  file: the merge re-reads the table from disk inside the lock, so two
+  concurrent writers never lose each other's entries;
+* torn, truncated, or otherwise unreadable entries degrade to a cache
+  miss: the entry is unlinked (the store after recomputation rewrites
+  it) and counted in the ``corrupt_entries`` counter;
+* writers that crash between the temp write and the rename leave
+  ``*.tmp.<pid>.*`` files behind; :func:`gc_stale_tmp` (run every time a
+  cache is opened) removes any whose owning pid is gone or whose mtime
+  is older than :data:`TMP_TTL_S`.
 """
 
 from __future__ import annotations
@@ -34,7 +53,15 @@ import hashlib
 import os
 import pickle
 import sys
-from typing import Dict, Optional, Sequence, Tuple
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from ..cfg import build_schedule, cone_hashes
 from ..obs import trace
@@ -43,6 +70,15 @@ from ..obs.metrics import MetricsRegistry
 # bump when the on-disk layout or the meaning of cached values changes
 CACHE_SCHEMA = 1
 _FRONT_SCHEMA = 1
+
+# advisory-lock acquisition budget for the summary-table merge; on timeout
+# the store is skipped (counted, never fatal — the summaries recompute)
+LOCK_TIMEOUT_S = 10.0
+LOCK_POLL_S = 0.02
+
+# a temp file this much older than now is stale even if a process with the
+# embedded pid still exists (pid reuse); writes finish in well under this
+TMP_TTL_S = 3600.0
 
 
 def _sha(text: str) -> str:
@@ -98,22 +134,162 @@ def _atomic_write(path: str, payload: bytes) -> None:
     with trace.timed("diskcache.write", "diskcache",
                      file=os.path.basename(path), bytes=len(payload)):
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = f"{path}.tmp.{os.getpid()}"
+        # pid first (so the GC can test liveness), thread id second (so two
+        # server worker threads never write through the same temp file)
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
         with open(tmp, "wb") as handle:
             handle.write(payload)
         os.replace(tmp, path)
+
+
+# ``sys.setrecursionlimit`` is process-global: the raise/dump/restore below
+# must be one critical section, or a thread leaving its ``finally`` clause
+# restores a low limit underneath a thread still mid-dump (and the last
+# restorer leaves the raised limit behind for good).
+_PICKLE_LOCK = threading.Lock()
 
 
 def _pickle(value) -> bytes:
     # CFGs and ECR graphs are deep object webs; the pickler walks them
     # recursively, so give it headroom proportional to nothing in
     # particular but comfortably above any corpus function
-    limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(limit, 100_000))
+    with _PICKLE_LOCK:
+        limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(max(limit, 100_000))
+            return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        finally:
+            sys.setrecursionlimit(limit)
+
+
+class CacheLockTimeout(Exception):
+    """The advisory file lock could not be acquired within the budget."""
+
+
+@contextmanager
+def _file_lock(path: str, timeout: float = LOCK_TIMEOUT_S):
+    """Advisory exclusive lock on the sidecar ``<path>.lock``.
+
+    ``flock`` is per open file description, so the lock excludes both
+    other processes and other threads of this process (each call opens
+    its own descriptor).  Acquisition polls ``LOCK_NB`` so a wedged
+    holder cannot block a writer forever; :class:`CacheLockTimeout`
+    fires after *timeout* seconds.  On platforms without ``fcntl`` the
+    lock degrades to a no-op (single-writer semantics as before).
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    handle = open(f"{path}.lock", "a+b")
     try:
-        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise CacheLockTimeout(
+                        f"could not lock {path!r} within {timeout}s")
+                time.sleep(LOCK_POLL_S)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
     finally:
-        sys.setrecursionlimit(limit)
+        handle.close()
+
+
+def _tmp_pid(filename: str) -> Optional[int]:
+    """The writer pid embedded in a temp-file name, if parseable."""
+    marker = ".tmp."
+    at = filename.rfind(marker)
+    if at < 0:
+        return None
+    digits = filename[at + len(marker):].split(".", 1)[0]
+    return int(digits) if digits.isdigit() else None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        pass  # e.g. EPERM: the pid exists but belongs to someone else
+    return True
+
+
+def gc_stale_tmp(root: str, ttl_s: float = TMP_TTL_S) -> int:
+    """Remove orphaned ``*.tmp.<pid>.*`` files under *root*.
+
+    A crashed or killed writer never reaches its ``os.replace``, leaving
+    the temp file behind forever.  A temp file is reclaimed when its
+    owning pid no longer exists, or unconditionally once it is older
+    than *ttl_s* (no write takes an hour; a live pid that old is reuse).
+    Returns the number of files removed.
+    """
+    removed = 0
+    now = time.time()
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in filenames:
+            if ".tmp." not in filename:
+                continue
+            path = os.path.join(dirpath, filename)
+            pid = _tmp_pid(filename)
+            try:
+                stale = (pid is None or not _pid_alive(pid)
+                         or now - os.path.getmtime(path) > ttl_s)
+                if stale:
+                    os.unlink(path)
+                    removed += 1
+            except OSError:
+                continue  # raced with its writer's rename, or already gone
+    return removed
+
+
+# corrupt entries seen by module-level readers (the front cache has no
+# AnalysisDiskCache instance to count on); instance reads also feed this
+_corrupt_seen = 0
+
+
+def corrupt_entries_seen() -> int:
+    """Process-wide count of cache entries dropped as corrupt."""
+    return _corrupt_seen
+
+
+def _read_pickle(path: Optional[str],
+                 on_corrupt: Optional[Callable[[str], None]] = None):
+    """Load a pickled entry; any unreadable entry degrades to a miss.
+
+    A missing file is an ordinary miss.  Anything else — truncated write,
+    foreign schema, unpicklable payload — counts as a *corrupt* entry:
+    the file is unlinked so the post-recompute store rewrites it, the
+    process-wide counter bumps, and *on_corrupt* (the per-instance stats
+    hook) fires.  Never raises.
+    """
+    global _corrupt_seen
+    if path is None:
+        return None
+    try:
+        with trace.timed("diskcache.read", "diskcache",
+                         file=os.path.basename(path)) as span:
+            with open(path, "rb") as handle:
+                payload = handle.read()
+            span.attrs["bytes"] = len(payload)
+            return pickle.loads(payload)
+    except FileNotFoundError:
+        return None
+    except Exception:
+        _corrupt_seen += 1
+        if on_corrupt is not None:
+            on_corrupt(path)
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None
 
 
 class AnalysisDiskCache:
@@ -139,6 +315,8 @@ class AnalysisDiskCache:
             "section_hits",
             "section_misses",
             "sections_stored",
+            "corrupt_entries",
+            "lock_timeouts",
         ), help="analysis disk-cache hit/miss/store counters")
 
     # -- keys ----------------------------------------------------------
@@ -156,23 +334,14 @@ class AnalysisDiskCache:
         digest = _sha(f"section;{func_name};{section_id};{cone};{self.salt}")
         return os.path.join(self.root, "sect", f"{digest[:32]}.pkl")
 
-    @staticmethod
-    def _read(path: Optional[str]):
-        if path is None:
-            return None
-        try:
-            with trace.timed("diskcache.read", "diskcache",
-                             file=os.path.basename(path)) as span:
-                with open(path, "rb") as handle:
-                    payload = handle.read()
-                span.attrs["bytes"] = len(payload)
-                return pickle.loads(payload)
-        except FileNotFoundError:
-            return None
-        except Exception:
-            # torn/stale/incompatible entry: treat as a miss, the store
-            # after recomputation overwrites it
-            return None
+    def _on_corrupt(self, path: str) -> None:
+        self.stats["corrupt_entries"] += 1
+        if trace.get_tracer().enabled:
+            trace.instant("cache-corrupt", "diskcache",
+                          file=os.path.basename(path))
+
+    def _read(self, path: Optional[str]):
+        return _read_pickle(path, on_corrupt=self._on_corrupt)
 
     # -- summary bundles -----------------------------------------------
 
@@ -204,22 +373,41 @@ class AnalysisDiskCache:
         function whose table gained or moved entries — including freshly
         computed ones — is rewritten into the (single, per-salt) summary
         file, which is written once per call.
+
+        The merge-and-replace holds the per-salt advisory file lock and
+        re-reads the on-disk table inside it: a concurrent writer (a
+        second ``repro analyze`` process or another server worker) that
+        landed since this cache instance first read the table keeps its
+        entries — an unlocked read-modify-write would silently drop them.
+        Entries this instance loaded earlier are still on disk (nothing
+        deletes them), so fresh-read-plus-dirty-merge loses nothing.
+        On lock timeout the store is skipped and counted; the summaries
+        simply recompute next run.
         """
         per_func: Dict[str, Dict[tuple, object]] = {}
         for key, value in engine.summary_items():
             per_func.setdefault(key[1], {})[key] = value
-        table = self._table()
-        stored = 0
+        dirty: Dict[str, Tuple[str, Dict]] = {}
         for func_name in sorted(engine.dirty_funcs):
             entries = per_func.get(func_name)
             cone = self.cone.get(func_name)
             if entries and cone is not None:
-                table[func_name] = (cone, dict(entries))
-                stored += 1
-        if stored:
-            _atomic_write(self._summ_path(), _pickle(table))
-            self.stats["bundles_stored"] += stored
-        return stored
+                dirty[func_name] = (cone, dict(entries))
+        if not dirty:
+            return 0
+        path = self._summ_path()
+        try:
+            with _file_lock(path):
+                on_disk = _read_pickle(path, on_corrupt=self._on_corrupt)
+                table = on_disk if isinstance(on_disk, dict) else {}
+                table.update(dirty)
+                _atomic_write(path, _pickle(table))
+        except CacheLockTimeout:
+            self.stats["lock_timeouts"] += 1
+            return 0
+        self._summ_table = table
+        self.stats["bundles_stored"] += len(dirty)
+        return len(dirty)
 
     # -- section locks -------------------------------------------------
 
@@ -249,8 +437,13 @@ def open_cache(root: str, program, pointsto, k: int,
     if schedule is None:
         schedule = build_schedule(program)
     cone = cone_hashes(program, schedule)
+    analysis_root = os.path.join(root, "analysis")
+    if os.path.isdir(analysis_root):
+        # reclaim temp files orphaned by crashed/killed writers before any
+        # of this run's own writes land
+        gc_stale_tmp(analysis_root)
     return AnalysisDiskCache(
-        os.path.join(root, "analysis"),
+        analysis_root,
         cone,
         analysis_salt(pointsto, k, use_effects),
     )
@@ -267,8 +460,12 @@ def _front_path(root: str, source: str) -> str:
 
 
 def load_front(root: str, source: str) -> Optional[Tuple]:
-    """Load ``(program, cfgs, pointsto)`` for *source*, or ``None``."""
-    return AnalysisDiskCache._read(_front_path(root, source))
+    """Load ``(program, cfgs, pointsto)`` for *source*, or ``None``.
+
+    A corrupt front entry (torn write, foreign pickle) is a miss: the
+    caller recomputes and :func:`store_front` rewrites it.
+    """
+    return _read_pickle(_front_path(root, source))
 
 
 def store_front(root: str, source: str, program, cfgs, pointsto) -> None:

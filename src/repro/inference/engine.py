@@ -81,6 +81,7 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.trace import get_tracer
 from ..pointer.aliasing import AliasOracle
 from ..pointer.steensgaard import PointsTo
+from ..sim.deadline import check_deadline
 from .libspec import SpecLibrary, reachable_classes
 from .subst import Substituter, WriteInfo, atom_to_index, write_for_assign
 
@@ -90,6 +91,13 @@ TermSet = Dict[Term, str]
 CoarseSet = FrozenSet[Tuple[Optional[int], str]]
 
 ACCESS = "$access"
+
+# How many worklist pops between cooperative-deadline polls.  A caller
+# that armed :func:`repro.sim.deadline.set_deadline` (the serve worker's
+# per-request budget, or the executor's off-main-thread cell timeout) gets
+# a :class:`~repro.sim.deadline.DeadlineExceeded` from inside the solve;
+# with no deadline armed the poll is one thread-local read.
+DEADLINE_POLL_EVERY = 128
 
 # The engine's solver counters, grouped in one registry-backed bundle.
 STAT_NAMES = (
@@ -241,6 +249,7 @@ class Engine:
 
     def analyze_section(self, func_name: str, section: SectionInfo) -> SectionLocks:
         """Infer the lock set protecting one atomic section."""
+        check_deadline()  # at least one poll per section, however small
         with self._tracer.span("section.analyze", "inference",
                                func=func_name, section=section.section_id):
             result = self._analyze_section(func_name, section)
@@ -356,6 +365,7 @@ class Engine:
         changed: Set[tuple] = set()
         tracer = self._tracer
         while self._worklist:
+            check_deadline()  # each pop is a whole function dataflow
             key = self._worklist.popleft()
             self._queued.discard(key)
             if tracer.enabled:
@@ -471,7 +481,11 @@ class Engine:
         worklist = [(rank[n.uid], n.uid, n) for n in region]
         heapq.heapify(worklist)
         queued = {n.uid for n in region}
+        pops = 0
         while worklist:
+            pops += 1
+            if not pops % DEADLINE_POLL_EVERY:
+                check_deadline()
             _, _, node = heapq.heappop(worklist)
             queued.discard(node.uid)
             out: TermSet = {}
@@ -502,7 +516,11 @@ class Engine:
         worklist = [(rank[n.uid], n.uid, n) for n in cfg.nodes]
         heapq.heapify(worklist)
         queued = {n.uid for n in cfg.nodes}
+        pops = 0
         while worklist:
+            pops += 1
+            if not pops % DEADLINE_POLL_EVERY:
+                check_deadline()
             _, _, node = heapq.heappop(worklist)
             queued.discard(node.uid)
             if node is cfg.exit:

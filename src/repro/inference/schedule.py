@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Set
 from ..cfg import CallSchedule, build_schedule
 from ..lang import ir
 from ..obs import trace
+from ..sim.deadline import check_deadline
 from .engine import Engine
 
 # The engine a forked worker process inherits; set in the parent
@@ -172,6 +173,7 @@ def _run_serial(engine: Engine, schedule: CallSchedule,
                 pending: List[List[int]], report: PrecomputeReport) -> None:
     for number, level in enumerate(pending):
         level_started = time.perf_counter()
+        check_deadline()  # cooperative per-request budget between levels
         for idx in level:
             label = _scc_label(schedule.sccs[idx])
             with trace.timed("schedule.scc", "inference", scc=label,
@@ -272,6 +274,7 @@ def _run_parallel(engine: Engine, schedule: CallSchedule,
         for level in pending:
             if not level:
                 continue
+            check_deadline()  # parent-side poll; workers run to completion
             level_started = time.perf_counter()
             weight = sum(
                 _scc_weight(engine, schedule.sccs[idx]) for idx in level)

@@ -102,6 +102,17 @@ EVENT_KINDS.update(_kinds("resilience", {
 EVENT_KINDS.update(_kinds("chaos", {
     "canary": {"program": _STR},
 }))
+EVENT_KINDS.update(_kinds("serve", {
+    "serve-start": {"socket": _STR, "max_inflight": _INT,
+                    "queue_depth": _INT},
+    "serve-stop": {"requests": _INT, "drained": _BOOL},
+    "request-start": {"req": _STR, "kind": _STR},
+    "request-finish": {"req": _STR, "kind": _STR, "duration_s": _NUM,
+                       "served": _STR},
+    "request-error": {"req": _STR, "kind": _STR, "error": _STR,
+                      "duration_s": _NUM},
+    "serve-warm": {"socket": _STR, "entries": _INT},
+}))
 EVENT_KINDS.update(_kinds("tracer", {
     "span": {"name": _STR, "clock": _STR, "start": _NUM, "dur": _NUM,
              "track": (int, str), "depth": _INT},
@@ -112,9 +123,12 @@ EVENT_KINDS.update(_kinds("tracer", {
 }))
 
 
-def envelope(kind: str, ts: Optional[float] = None,
+def envelope(kind: str, /, ts: Optional[float] = None,
              **payload: object) -> Dict[str, object]:
-    """Build a v1 record for *kind*; payload fields land flat in the dict."""
+    """Build a v1 record for *kind*; payload fields land flat in the dict.
+
+    *kind* is positional-only so a payload may itself carry a ``kind``
+    field (the serve request events do)."""
     spec = EVENT_KINDS.get(kind)
     if spec is None:
         raise SchemaError(f"unknown event kind {kind!r}")

@@ -136,6 +136,23 @@ class Histogram:
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q):
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the q-th observation; the recorded ``max`` caps the +inf
+        bucket).  Good enough for latency reporting — the error is bounded
+        by the bucket width, never by the sample count."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for bound, count in zip(self.bounds, self.counts):
+            seen += count
+            if seen >= rank:
+                return bound
+        return self.max if self.max is not None else self.bounds[-1]
+
     def to_dict(self):
         return {
             "bounds": list(self.bounds),

@@ -1,0 +1,26 @@
+"""Long-lived analysis service (``repro serve`` / ``repro client``).
+
+See :mod:`repro.serve.server` for the resident-state contract and
+``docs/SERVING.md`` for the wire protocol and operational semantics.
+"""
+
+from .client import ServeClient, fetch_inference
+from .protocol import (
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    REQUEST_KINDS,
+    ProtocolError,
+    ServeError,
+)
+from .server import AnalysisServer
+
+__all__ = [
+    "AnalysisServer",
+    "ServeClient",
+    "fetch_inference",
+    "ProtocolError",
+    "ServeError",
+    "PROTOCOL_VERSION",
+    "REQUEST_KINDS",
+    "ERROR_CODES",
+]

@@ -1,0 +1,95 @@
+"""Thin client for the analysis service.
+
+:class:`ServeClient` is one connection speaking the framed protocol; it is
+what ``repro client …`` and the bench executor's ``--serve-via`` routing
+use.  A client is cheap — connect, a few requests, close — because all the
+expensive state lives in the server.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+import socket
+from typing import Dict, Optional
+
+from . import protocol
+
+DEFAULT_TIMEOUT_S = 120.0
+
+
+class ServeClient:
+    """One framed connection to a running :class:`AnalysisServer`."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 host: Optional[str] = None, port: int = 0,
+                 timeout: float = DEFAULT_TIMEOUT_S) -> None:
+        if socket_path is None and host is None:
+            raise ValueError("need a socket path or a host/port pair")
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request kinds -------------------------------------------------
+
+    def request(self, kind: str, **payload: object) -> Dict[str, object]:
+        """Send one request; return the validated ok-response.
+
+        Structured server errors raise :class:`protocol.ServeError` with
+        the error code on ``.code``.
+        """
+        protocol.send_message(self._sock, protocol.request(kind, **payload))
+        return protocol.check_response(protocol.recv_message(self._sock))
+
+    def analyze(self, source: str, k: int = 9, use_effects: bool = True,
+                deadline_s: Optional[float] = None,
+                want_pickle: bool = False) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "source": source, "k": k, "use_effects": use_effects,
+        }
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        if want_pickle:
+            payload["want_pickle"] = True
+        return self.request("analyze", **payload)
+
+    def status(self) -> Dict[str, object]:
+        return self.request("status")
+
+    def flush(self) -> Dict[str, object]:
+        return self.request("flush")
+
+    def shutdown(self) -> Dict[str, object]:
+        return self.request("shutdown")
+
+
+def fetch_inference(source: str, k: int,
+                    socket_path: Optional[str] = None,
+                    host: Optional[str] = None, port: int = 0,
+                    use_effects: bool = True):
+    """Fetch a fully materialized ``InferenceResult`` from a server.
+
+    The executor's ``--serve-via`` path: the response carries the pickled
+    result (interned terms re-intern on load), so the caller gets exactly
+    what a local :class:`LockInference` run would have produced.
+    """
+    with ServeClient(socket_path=socket_path, host=host, port=port) as client:
+        response = client.analyze(source, k=k, use_effects=use_effects,
+                                  want_pickle=True)
+    return pickle.loads(base64.b64decode(response["pickle"]))

@@ -1,0 +1,159 @@
+"""Wire protocol of the analysis service: length-prefixed JSON frames.
+
+A frame is a 4-byte big-endian unsigned payload length followed by that
+many bytes of UTF-8 JSON.  Requests and responses are flat objects with a
+versioned envelope (see ``docs/SERVING.md`` for the full spec):
+
+* request: ``{"v": 1, "kind": "analyze"|"status"|"flush"|"shutdown",
+  "id": "<req-id>", ...payload}``;
+* response: ``{"v": 1, "id": "<req-id>", "ok": true, ...payload}`` or
+  ``{"v": 1, "id": "<req-id>", "ok": false, "error": "<code>",
+  "message": "<human text>"}``.
+
+Error codes are closed (:data:`ERROR_CODES`): ``backpressure`` (the
+bounded request queue is full — retry later), ``deadline`` (the request's
+wall-clock budget ran out mid-analysis), ``bad-request`` (malformed frame
+or unknown kind), ``analysis-error`` (the analysis itself raised, e.g. a
+parse error), ``shutting-down`` (the server is draining).
+
+The framing is symmetric — both the client and the server use
+:func:`send_message` / :func:`recv_message`.  A peer that disappears
+mid-frame surfaces as :class:`ProtocolError`; a clean EOF before the
+length prefix returns ``None`` from :func:`recv_message`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import uuid
+from typing import Dict, Optional
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's payload; a prefix beyond it means a corrupt
+#: or hostile stream, not a real request.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+REQUEST_KINDS = ("analyze", "status", "flush", "shutdown")
+
+ERROR_CODES = ("backpressure", "deadline", "bad-request",
+               "analysis-error", "shutting-down")
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """The byte stream does not parse as protocol frames."""
+
+
+def new_request_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+def send_message(sock: socket.socket, obj: Dict[str, object]) -> None:
+    """Serialize *obj* and write one frame."""
+    payload = json.dumps(obj, sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds "
+                            f"{MAX_FRAME_BYTES}")
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly *n* bytes; ``None`` on EOF at a frame boundary."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == n:
+                return None  # clean EOF between frames
+            raise ProtocolError(
+                f"peer closed mid-frame ({n - remaining}/{n} bytes)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Optional[Dict[str, object]]:
+    """Read one frame; ``None`` when the peer closed the connection."""
+    prefix = _recv_exact(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds "
+                            f"{MAX_FRAME_BYTES}")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("peer closed between prefix and payload")
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as err:
+        raise ProtocolError(f"frame payload is not JSON: {err}") from err
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"frame payload is {type(obj).__name__}, "
+                            "expected an object")
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# envelopes
+# ---------------------------------------------------------------------------
+
+
+def request(kind: str, req_id: Optional[str] = None,
+            **payload: object) -> Dict[str, object]:
+    """Build a request envelope (the client's send helper)."""
+    if kind not in REQUEST_KINDS:
+        raise ValueError(f"unknown request kind {kind!r}; "
+                         f"choices: {REQUEST_KINDS}")
+    record: Dict[str, object] = {
+        "v": PROTOCOL_VERSION,
+        "kind": kind,
+        "id": req_id if req_id is not None else new_request_id(),
+    }
+    record.update(payload)
+    return record
+
+
+def ok_response(req_id: str, **payload: object) -> Dict[str, object]:
+    record: Dict[str, object] = {
+        "v": PROTOCOL_VERSION, "id": req_id, "ok": True,
+    }
+    record.update(payload)
+    return record
+
+
+def error_response(req_id: str, code: str,
+                   message: str = "") -> Dict[str, object]:
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    return {
+        "v": PROTOCOL_VERSION, "id": req_id, "ok": False,
+        "error": code, "message": message,
+    }
+
+
+class ServeError(Exception):
+    """Client-side surfacing of a structured server error response."""
+
+    def __init__(self, code: str, message: str = "") -> None:
+        super().__init__(f"{code}: {message}" if message else code)
+        self.code = code
+        self.message = message
+
+
+def check_response(response: Optional[Dict[str, object]]) -> Dict[str, object]:
+    """Validate a response envelope; raise :class:`ServeError` on errors."""
+    if response is None:
+        raise ProtocolError("server closed the connection before replying")
+    if response.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported response version {response.get('v')!r}")
+    if not response.get("ok"):
+        raise ServeError(str(response.get("error", "analysis-error")),
+                         str(response.get("message", "")))
+    return response
