@@ -1,0 +1,293 @@
+"""Robustness benchmark: checkpoint overhead, resume warmth, anytime soundness.
+
+Three claims from ``docs/ROBUSTNESS.md``, measured and gated:
+
+* **checkpoint overhead** — a cold analyze with ``checkpoint_every=1``
+  (flush converged bundles + rewrite the progress cursor at every solved
+  SCC level) costs at most ``MAX_OVERHEAD`` of the same cold analyze
+  without checkpointing.  Durability is nearly free because the flushes
+  reuse the incremental ``store_dirty`` path;
+* **resume warmth** — a run aborted after its second checkpoint, rerun
+  with the same cache dir, resumes from the on-disk cursor and skips at
+  least as many schedule levels as were checkpointed, producing the same
+  inference as an uninterrupted run;
+* **anytime soundness** — across the corpus and a ladder of step budgets,
+  the budgeted ``allow_partial`` result is a pure coarsening of the
+  unbudgeted one: non-degraded sections identical, degraded sections
+  exactly the global lock.
+
+Writes ``BENCH_robust.json`` at the repo root.  Run standalone
+(``python benchmarks/bench_robust.py [--quick] [--check-baseline]``) or
+under pytest (``pytest benchmarks/bench_robust.py``).
+"""
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import emit_report  # noqa: E402
+from repro.bench.configs import STAMP_BENCHMARKS  # noqa: E402
+from repro.bench.programs.spec import generate_spec_program  # noqa: E402
+from repro.inference import AnalysisBudget, LockInference  # noqa: E402
+from repro.locks.effects import RW  # noqa: E402
+from repro.locks.paperlock import global_lock  # noqa: E402
+
+K = 9
+# cold analyze with per-level checkpointing may cost at most 10% extra
+MAX_OVERHEAD = 1.10
+# --check-baseline also fails if the fresh checkpointed total exceeds the
+# committed one by more than this factor
+REGRESSION_FACTOR = 1.5
+# step budgets for the soundness sweep (1 degrades everything, the top of
+# the ladder usually converges)
+BUDGET_LADDER = (1, 50, 1000)
+ROUNDS = 3  # overhead is best-of-N to shave scheduler noise
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), "..",
+                         "BENCH_robust.json")
+
+# a generated program big enough for a multi-level SCC schedule; the
+# STAMP sources are too small for checkpointing to mean anything
+CHECKPOINT_PROGRAM = ("vpr", 0.3, 7)
+
+
+def _checkpoint_source() -> str:
+    name, kloc, seed = CHECKPOINT_PROGRAM
+    return generate_spec_program(name, kloc=kloc, seed=seed)
+
+
+def _timed_analyze(source, cache_root, checkpoint_every):
+    workdir = tempfile.mkdtemp(prefix="bench-robust-", dir=cache_root)
+    started = time.perf_counter()
+    result = LockInference(source, k=K, cache_dir=workdir,
+                           checkpoint_every=checkpoint_every).run()
+    elapsed = time.perf_counter() - started
+    shutil.rmtree(workdir, ignore_errors=True)
+    return elapsed, result
+
+
+def measure_overhead(cache_root):
+    """Best-of-N cold analyze, with and without per-level checkpoints."""
+    source = _checkpoint_source()
+    plain = ckpt = None
+    checkpoints = 0
+    for _ in range(ROUNDS):
+        plain_s, _ = _timed_analyze(source, cache_root, 0)
+        ckpt_s, result = _timed_analyze(source, cache_root, 1)
+        plain = plain_s if plain is None else min(plain, plain_s)
+        ckpt = ckpt_s if ckpt is None else min(ckpt, ckpt_s)
+        checkpoints = result.profile.checkpoints
+    return {
+        "plain_s": round(plain, 3),
+        "checkpointed_s": round(ckpt, 3),
+        "checkpoints": checkpoints,
+        "overhead": round(ckpt / plain, 3),
+        "max_overhead": MAX_OVERHEAD,
+    }
+
+
+def measure_resume(cache_root):
+    """Abort after the second checkpoint; the rerun must resume warm."""
+    source = _checkpoint_source()
+    workdir = tempfile.mkdtemp(prefix="bench-robust-resume-", dir=cache_root)
+
+    class Abort(RuntimeError):
+        pass
+
+    hits = []
+
+    def bomb(level):
+        hits.append(level)
+        if len(hits) >= 2:
+            raise Abort
+
+    try:
+        try:
+            LockInference(source, k=K, cache_dir=workdir, checkpoint_every=1,
+                          on_checkpoint=bomb).run()
+            raise AssertionError("abort hook never fired")
+        except Abort:
+            pass
+        started = time.perf_counter()
+        resumed = LockInference(source, k=K, cache_dir=workdir,
+                                checkpoint_every=1).run()
+        resume_s = time.perf_counter() - started
+        pure = LockInference(source, k=K).run()
+        identical = (resumed.describe() == pure.describe()
+                     and resumed.lock_counts() == pure.lock_counts())
+        return {
+            "checkpoints_before_crash": len(hits),
+            "resumed_from_level": resumed.profile.resumed_from_level,
+            "levels_skipped": resumed.profile.levels_skipped,
+            "resume_s": round(resume_s, 3),
+            "identical_to_pure_run": identical,
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _coarsening_violations(budgeted, full) -> int:
+    fallback = frozenset({global_lock(RW)})
+    bad = 0
+    if set(budgeted.sections) != set(full.sections):
+        return max(len(budgeted.sections), len(full.sections))
+    for sid, section in budgeted.sections.items():
+        if sid in budgeted.degraded_sections:
+            bad += section.locks != fallback
+        else:
+            bad += section.locks != full.sections[sid].locks
+    return bad
+
+
+def measure_soundness(quick=False):
+    """Budget ladder over the STAMP corpus: count degradations, verify
+    every budgeted result is a pure coarsening of the full one."""
+    names = sorted(STAMP_BENCHMARKS)
+    if quick:
+        names = names[:3]
+    rows = {}
+    violations = 0
+    for name in names:
+        source = STAMP_BENCHMARKS[name].source
+        full = LockInference(source, k=K).run()
+        ladder = {}
+        for steps in BUDGET_LADDER:
+            budgeted = LockInference(
+                source, k=K, budget=AnalysisBudget(max_steps=steps),
+                allow_partial=True).run()
+            violations += _coarsening_violations(budgeted, full)
+            ladder[str(steps)] = {
+                "degraded": len(budgeted.degraded_sections),
+                "sections": len(budgeted.sections),
+            }
+        rows[name] = ladder
+    return {"programs": rows, "budget_ladder": list(BUDGET_LADDER),
+            "coarsening_violations": violations}
+
+
+def measure(quick=False):
+    cache_root = tempfile.mkdtemp(prefix="bench-robust-root-")
+    try:
+        overhead = measure_overhead(cache_root)
+        resume = measure_resume(cache_root)
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+    soundness = measure_soundness(quick=quick)
+    return {
+        "benchmark": "anytime-robustness",
+        "quick": quick,
+        "k": K,
+        "checkpoint_program": list(CHECKPOINT_PROGRAM),
+        "overhead": overhead,
+        "resume": resume,
+        "soundness": soundness,
+    }
+
+
+def render(report) -> str:
+    o, r, s = report["overhead"], report["resume"], report["soundness"]
+    lines = [
+        f"cold analyze:              {o['plain_s']:.3f}s",
+        f"  + per-level checkpoints: {o['checkpointed_s']:.3f}s "
+        f"({o['checkpoints']} checkpoints, {o['overhead']:.2f}x, "
+        f"bar <= {o['max_overhead']:.2f}x)",
+        f"resume after crash:        from level {r['resumed_from_level']}, "
+        f"{r['levels_skipped']} levels warm "
+        f"(>= {r['checkpoints_before_crash']} checkpointed), "
+        f"{r['resume_s']:.3f}s, identical={r['identical_to_pure_run']}",
+        "",
+        f"{'Program':12s} " + " ".join(f"steps<={b:>5d}"
+                                       for b in s["budget_ladder"]),
+    ]
+    for name, ladder in sorted(s["programs"].items()):
+        cells = " ".join(
+            f"{ladder[str(b)]['degraded']:4d}/{ladder[str(b)]['sections']:<6d}"
+            for b in s["budget_ladder"])
+        lines.append(f"{name:12s} {cells}  (degraded/sections)")
+    lines.append(f"coarsening violations: {s['coarsening_violations']} "
+                 "(must be 0)")
+    return "\n".join(lines)
+
+
+def write_json(report) -> str:
+    path = os.path.abspath(JSON_PATH)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _gates(report):
+    o, r, s = report["overhead"], report["resume"], report["soundness"]
+    return {
+        "checkpoint overhead": o["overhead"] <= MAX_OVERHEAD,
+        "resume skips checkpointed levels":
+            r["levels_skipped"] >= r["checkpoints_before_crash"]
+            and r["resumed_from_level"] is not None,
+        "resume identical": r["identical_to_pure_run"],
+        "pure coarsening": s["coarsening_violations"] == 0,
+    }
+
+
+def check_baseline(report, path=None) -> bool:
+    ok = True
+    for gate, passed in _gates(report).items():
+        print(f"{gate}: {'OK' if passed else 'FAIL'}")
+        ok = ok and passed
+    path = os.path.abspath(path or JSON_PATH)
+    try:
+        with open(path) as handle:
+            committed = json.load(handle)
+        baseline = float(committed["overhead"]["checkpointed_s"])
+    except (OSError, ValueError, KeyError):
+        print(f"no committed baseline at {path}; skipping the "
+              "regression gate")
+        return ok
+    fresh = report["overhead"]["checkpointed_s"]
+    limit = baseline * REGRESSION_FACTOR
+    verdict = "OK" if fresh <= limit else "REGRESSION"
+    print(f"baseline gate: checkpointed {fresh:.3f}s vs committed "
+          f"{baseline:.3f}s (limit {limit:.3f}s) -> {verdict}")
+    return ok and fresh <= limit
+
+
+def test_robustness(benchmark):
+    benchmark.group = "robust"
+
+    report = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["overhead"] = report["overhead"]["overhead"]
+    benchmark.extra_info["levels_skipped"] = (
+        report["resume"]["levels_skipped"])
+    write_json(report)
+    emit_report(
+        "robustness",
+        f"Robustness: checkpoint overhead, resume warmth, anytime "
+        f"soundness (k={K})",
+        render(report),
+    )
+    for gate, passed in _gates(report).items():
+        assert passed, gate
+
+
+def main(argv=None) -> int:
+    argv = list(argv if argv is not None else sys.argv[1:])
+    quick = "--quick" in argv
+    gate = "--check-baseline" in argv
+    report = measure(quick=quick)
+    print(render(report))
+    ok = True
+    if gate:
+        ok = check_baseline(report)
+    if not quick:
+        path = write_json(report)
+        print(f"wrote {path}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,8 +50,9 @@ from typing import List, Optional
 
 from .bench import ALL_BENCHMARKS, CONFIGS, run_benchmark
 from .bench.reporting import figure7, figure7_counts, table2, table2_rows
-from .inference import LockInference, transform_with_inference
-from .lang import parse_program, print_lowered_program
+from .inference import (AnalysisBudget, BudgetExhausted, LockInference,
+                        transform_with_inference)
+from .lang import SourceError, parse_program, print_lowered_program
 from .lang.validate import validate_program
 
 
@@ -60,9 +61,22 @@ def _read_source(path: str) -> str:
         return handle.read()
 
 
+def _budget_from_args(args: argparse.Namespace) -> Optional[AnalysisBudget]:
+    if (args.budget_seconds is None and args.budget_steps is None
+            and args.budget_rss_mb is None):
+        return None
+    return AnalysisBudget(wall_s=args.budget_seconds,
+                          max_steps=args.budget_steps,
+                          max_rss_mb=args.budget_rss_mb)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     source = _read_source(args.file)
-    validate_program(parse_program(source))
+    try:
+        validate_program(parse_program(source))
+    except SourceError as err:
+        print(err.diagnostic(source), file=sys.stderr)
+        return 2
     if args.no_disk_cache:
         cache_dir = None
     else:
@@ -75,9 +89,21 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
         tracer = configure(True)
         tracer.drain()
-    result = LockInference(source, k=args.k,
-                           use_effects=not args.no_effects,
-                           jobs=args.jobs, cache_dir=cache_dir).run()
+    try:
+        result = LockInference(source, k=args.k,
+                               use_effects=not args.no_effects,
+                               jobs=args.jobs, cache_dir=cache_dir,
+                               budget=_budget_from_args(args),
+                               allow_partial=args.allow_partial,
+                               checkpoint_every=args.checkpoint_every).run()
+    except SourceError as err:
+        print(err.diagnostic(source), file=sys.stderr)
+        return 2
+    except BudgetExhausted as err:
+        print(f"analysis budget exhausted ({err.reason}); rerun with "
+              f"--allow-partial for a sound degraded result",
+              file=sys.stderr)
+        return 3
     if tracer is not None:
         import dataclasses
 
@@ -102,6 +128,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     print(f"analysis time: {result.analysis_time:.3f}s "
           f"(pointer {result.pointer_time:.3f}s, "
           f"dataflow {result.dataflow_time:.3f}s)")
+    if result.degraded_sections:
+        reasons = ", ".join(sorted(set(result.degraded_sections.values())))
+        print(f"# partial: {len(result.degraded_sections)} section(s) "
+              f"degraded to the global lock ({reasons} budget)",
+              file=sys.stderr)
     if args.profile and result.profile is not None:
         print()
         print(result.profile.describe())
@@ -110,10 +141,40 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 def cmd_transform(args: argparse.Namespace) -> int:
     source = _read_source(args.file)
-    validate_program(parse_program(source))
-    result = LockInference(source, k=args.k).run()
+    try:
+        validate_program(parse_program(source))
+        result = LockInference(source, k=args.k).run()
+    except SourceError as err:
+        print(err.diagnostic(source), file=sys.stderr)
+        return 2
     print(print_lowered_program(transform_with_inference(result)))
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import fuzz_range
+
+    try:
+        start_text, end_text = args.seeds.split(":", 1)
+        start, end = int(start_text), int(end_text)
+    except ValueError:
+        print(f"--seeds wants START:END, got {args.seeds!r}",
+              file=sys.stderr)
+        return 2
+    report = fuzz_range(start, end, k=args.k,
+                        budget_steps=args.budget_steps)
+    print(report.describe())
+    if args.save_crashes and report.failures:
+        import os
+
+        os.makedirs(args.save_crashes, exist_ok=True)
+        for failure in report.failures:
+            path = os.path.join(args.save_crashes,
+                                f"seed{failure.seed}.mc")
+            with open(path, "w") as handle:
+                handle.write(failure.source)
+            print(f"wrote {path}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -343,7 +404,8 @@ def cmd_client(args: argparse.Namespace) -> int:
                 source = _read_source(args.file)
                 response = client.analyze(
                     source, k=args.k, use_effects=not args.no_effects,
-                    deadline_s=args.deadline)
+                    deadline_s=args.deadline,
+                    allow_partial=args.allow_partial)
                 # mirror ``repro analyze`` line for line, so the two paths
                 # are interchangeable (and diffable) for any script
                 print(response["sections"])
@@ -359,6 +421,10 @@ def cmd_client(args: argparse.Namespace) -> int:
                       f"(pointer {response['pointer_time']:.3f}s, "
                       f"dataflow {response['dataflow_time']:.3f}s)")
                 print(f"# served: {response['served']}", file=sys.stderr)
+                if response.get("partial"):
+                    degraded = response.get("degraded_sections", [])
+                    print(f"# partial: {len(degraded)} section(s) degraded "
+                          f"to the global lock", file=sys.stderr)
                 if args.profile and response.get("profile"):
                     print(json.dumps(response["profile"], indent=2,
                                      sort_keys=True))
@@ -533,12 +599,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="record analysis spans to this JSONL file "
                         "(render with: repro trace PATH)")
+    p.add_argument("--budget-seconds", type=float, default=None, metavar="S",
+                   help="wall-clock budget for the solve; on exhaustion "
+                        "the run fails (exit 3) unless --allow-partial")
+    p.add_argument("--budget-steps", type=int, default=None, metavar="N",
+                   help="dataflow-step budget for the solve")
+    p.add_argument("--budget-rss-mb", type=float, default=None, metavar="MB",
+                   help="peak-RSS budget for the solve (sampled)")
+    p.add_argument("--allow-partial", action="store_true",
+                   help="on budget exhaustion, degrade unconverged "
+                        "sections to the sound global lock [(T, X)] "
+                        "instead of failing (see docs/ROBUSTNESS.md)")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="flush converged summary bundles every N solved "
+                        "SCC levels so a killed run resumes from the last "
+                        "checkpoint (needs the disk cache; 0 = off)")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("transform", help="print the lock-based program")
     p.add_argument("file")
     p.add_argument("--k", type=int, default=9)
     p.set_defaults(func=cmd_transform)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="grammar-fuzz the front end and the anytime analysis",
+    )
+    p.add_argument("--seeds", default="0:100", metavar="START:END",
+                   help="half-open seed range to fuzz (default 0:100)")
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--budget-steps", type=int, default=120, metavar="N",
+                   help="dataflow-step budget for the partial run each "
+                        "seed is analyzed under")
+    p.add_argument("--save-crashes", default=None, metavar="DIR",
+                   help="write crashing/unsound inputs here as .mc files")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("run", help="simulate one benchmark cell")
     p.add_argument("bench")
@@ -637,6 +732,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-effects", action="store_true")
     p.add_argument("--deadline", type=float, default=None,
                    help="per-request wall-clock budget override")
+    p.add_argument("--allow-partial", action="store_true",
+                   help="accept a sound degraded result instead of a "
+                        "deadline error")
     p.add_argument("--timeout", type=float, default=120.0,
                    help="client socket timeout in seconds")
     p.add_argument("--profile", action="store_true",

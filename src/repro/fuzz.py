@@ -1,0 +1,234 @@
+"""Grammar fuzzer for the parse → lower → analyze → check pipeline.
+
+``repro fuzz`` hammers the front end and the anytime analysis with
+mutated programs and asserts two invariants on every seed:
+
+* **no crash** — malformed input is rejected with exactly one structured
+  :class:`~repro.lang.SourceError` (whose diagnostic renderer must itself
+  not crash); any other exception escaping parse/validate/lower is a bug;
+* **soundness under budgets** — inputs that survive the front end are
+  analyzed twice, once under a tight :class:`AnalysisBudget` with
+  ``allow_partial`` and once unbudgeted, and the budgeted result must be
+  a pure coarsening: non-degraded sections identical to the unbudgeted
+  run, degraded sections exactly ``[(⊤, X)]`` (the global lock).
+
+Each seed derives a base program from the deterministic SPEC generator
+(:mod:`repro.bench.programs.spec`) and applies a few token/line-level
+mutations — deletions, duplications, swaps, identifier renames, operator
+injections, truncations — so the corpus covers both well-formed programs
+(mutations often preserve validity) and arbitrarily broken ones.
+Everything is seeded: a failing seed replays exactly, and fuzzer-found
+crashes become regression fixtures under ``tests/fixtures/fuzz/``.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .bench.programs.spec import generate_spec_program
+from .inference import LockInference
+from .inference.budget import AnalysisBudget
+from .lang import SourceError, lower_program, parse_program
+from .lang.validate import validate_program
+from .locks.effects import RW
+from .locks.paperlock import global_lock
+
+__all__ = ["FuzzOutcome", "FuzzReport", "fuzz_one", "fuzz_range",
+           "mutate_source"]
+
+# small handwritten bases exercising corners the generator avoids
+_HANDWRITTEN = [
+    """
+struct Node { Node* next; int val; }
+Node* head;
+void push(int v) {
+  atomic {
+    Node* n = new Node;
+    n->val = v;
+    n->next = head;
+    head = n;
+  }
+}
+int sum() {
+  int total = 0;
+  atomic {
+    Node* cur = head;
+    while (cur != null) {
+      total = total + cur->val;
+      cur = cur->next;
+    }
+  }
+  return total;
+}
+void main() { push(1); int s = sum(); }
+""",
+    """
+struct Cell { int v; }
+Cell* a;
+Cell* b;
+void swap() {
+  atomic {
+    int t = a->v;
+    a->v = b->v;
+    b->v = t;
+  }
+}
+void main() { a = new Cell; b = new Cell; swap(); }
+""",
+]
+
+_SPEC_NAMES = ("mcf", "vpr", "gzip")
+
+_TOKENISH = re.compile(r"[A-Za-z_$][A-Za-z0-9_$]*|\d+|->|[<>=!]=|&&|\|\||\S")
+
+_OPERATORS = ["+", "-", "*", "/", "==", "!=", "<", ">", "&&", "||", "->",
+              ";", "{", "}", "(", ")", "=", ",", "@", "#", "\x00"]
+
+
+def base_source(rng: random.Random) -> str:
+    """A deterministic base program for one seed."""
+    roll = rng.random()
+    if roll < 0.3:
+        return rng.choice(_HANDWRITTEN)
+    name = rng.choice(_SPEC_NAMES)
+    return generate_spec_program(name, kloc=0.02 + 0.04 * rng.random(),
+                                 seed=rng.randrange(1 << 16))
+
+
+def mutate_source(source: str, rng: random.Random) -> str:
+    """Apply 0–3 random mutations; 0 keeps the program well-formed."""
+    for _ in range(rng.randrange(4)):
+        kind = rng.randrange(7)
+        if kind == 0:  # delete a token-ish chunk
+            spans = [m.span() for m in _TOKENISH.finditer(source)]
+            if spans:
+                lo, hi = rng.choice(spans)
+                source = source[:lo] + source[hi:]
+        elif kind == 1:  # duplicate a line
+            lines = source.splitlines()
+            if lines:
+                at = rng.randrange(len(lines))
+                lines.insert(at, lines[at])
+                source = "\n".join(lines)
+        elif kind == 2:  # swap two lines
+            lines = source.splitlines()
+            if len(lines) >= 2:
+                i, j = rng.sample(range(len(lines)), 2)
+                lines[i], lines[j] = lines[j], lines[i]
+                source = "\n".join(lines)
+        elif kind == 3:  # rename one identifier occurrence
+            idents = [m.span() for m in _TOKENISH.finditer(source)
+                      if m.group()[0].isalpha() or m.group()[0] in "_$"]
+            if idents:
+                lo, hi = rng.choice(idents)
+                repl = rng.choice(["x", "tmp", "head", "next", "main",
+                                   "atomic", "int", "g0"])
+                source = source[:lo] + repl + source[hi:]
+        elif kind == 4:  # inject an operator/garbage char
+            at = rng.randrange(len(source) + 1)
+            source = source[:at] + rng.choice(_OPERATORS) + source[at:]
+        elif kind == 5:  # truncate
+            if source:
+                source = source[:rng.randrange(len(source))]
+        else:  # glue a fragment of itself on the end
+            lines = source.splitlines()
+            if lines:
+                at = rng.randrange(len(lines))
+                source = source + "\n" + "\n".join(lines[at:at + 3])
+    return source
+
+
+@dataclass
+class FuzzOutcome:
+    """What one seed did."""
+
+    seed: int
+    status: str  # "ok" | "partial" | "rejected" | "crash" | "unsound"
+    detail: str = ""
+    source: str = ""
+
+
+@dataclass
+class FuzzReport:
+    """Aggregated outcomes of a seed range."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    failures: List[FuzzOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        total = sum(self.counts.values())
+        parts = ", ".join(f"{self.counts.get(s, 0)} {s}" for s in
+                          ("ok", "partial", "rejected", "crash", "unsound"))
+        lines = [f"{total} seeds: {parts}"]
+        for failure in self.failures:
+            lines.append(f"  seed {failure.seed}: {failure.status} — "
+                         f"{failure.detail}")
+        return "\n".join(lines)
+
+
+def _check_coarsening(budgeted, full) -> Optional[str]:
+    """Budgeted vs unbudgeted must differ only by global-lock fallbacks."""
+    fallback = frozenset({global_lock(RW)})
+    if set(budgeted.sections) != set(full.sections):
+        return "section sets differ between budgeted and full runs"
+    for sid, section in budgeted.sections.items():
+        if sid in budgeted.degraded_sections:
+            if section.locks != fallback:
+                return (f"degraded section {sid} is not exactly the global "
+                        f"lock: {sorted(map(str, section.locks))}")
+        elif section.locks != full.sections[sid].locks:
+            return f"non-degraded section {sid} differs from the full run"
+    return None
+
+
+def fuzz_one(seed: int, k: int = 2, budget_steps: int = 120) -> FuzzOutcome:
+    """Run the whole pipeline on one mutated seed."""
+    rng = random.Random(seed)
+    source = mutate_source(base_source(rng), rng)
+    try:
+        try:
+            program = parse_program(source)
+            validate_program(program)
+            lowered = lower_program(program)
+        except SourceError as err:
+            # the diagnostic renderer is part of the contract under test
+            err.diagnostic(source)
+            return FuzzOutcome(seed, "rejected", type(err).__name__, source)
+    except Exception as exc:  # noqa: BLE001 - the fuzzer's whole point
+        return FuzzOutcome(
+            seed, "crash",
+            f"front end raised {type(exc).__name__}: {exc}", source)
+    try:
+        budgeted = LockInference(
+            lowered, k=k, budget=AnalysisBudget(max_steps=budget_steps),
+            allow_partial=True).run()
+        full = LockInference(lowered, k=k).run()
+    except Exception as exc:  # noqa: BLE001
+        return FuzzOutcome(
+            seed, "crash",
+            f"analysis raised {type(exc).__name__}: {exc}", source)
+    why = _check_coarsening(budgeted, full)
+    if why is not None:
+        return FuzzOutcome(seed, "unsound", why, source)
+    status = "partial" if budgeted.degraded_sections else "ok"
+    return FuzzOutcome(seed, status, source=source)
+
+
+def fuzz_range(start: int, end: int, k: int = 2,
+               budget_steps: int = 120) -> FuzzReport:
+    """Fuzz seeds ``[start, end)`` and aggregate the outcomes."""
+    report = FuzzReport()
+    for seed in range(start, end):
+        outcome = fuzz_one(seed, k=k, budget_steps=budget_steps)
+        report.counts[outcome.status] = (
+            report.counts.get(outcome.status, 0) + 1)
+        if outcome.status in ("crash", "unsound"):
+            report.failures.append(outcome)
+    return report

@@ -9,6 +9,7 @@ from .analysis import (
     infer_locks,
     shared_analysis,
 )
+from .budget import AnalysisBudget, BudgetExhausted, CheckpointPolicy
 from .diskcache import AnalysisDiskCache, analysis_salt, open_cache
 from .engine import Engine, SectionLocks, SummaryResult
 from .libspec import ExternalSpec, SpecLibrary, reachable_classes
@@ -27,6 +28,9 @@ __all__ = [
     "AnalysisProfile",
     "SharedAnalysis",
     "shared_analysis",
+    "AnalysisBudget",
+    "BudgetExhausted",
+    "CheckpointPolicy",
     "Engine",
     "SectionLocks",
     "SummaryResult",

@@ -24,11 +24,14 @@ from typing import Dict, List, Optional, Union
 from ..cfg import CFG, build_cfgs, build_schedule
 from ..lang import ast, ir, lower_program, parse_program
 from ..locks.effects import RO, RW
-from ..locks.paperlock import Lock
+from ..locks.paperlock import Lock, global_lock
 from ..locks.terms import interning_stats
 from ..obs import trace
+from ..obs.events import envelope
 from ..pointer.steensgaard import PointsTo
+from ..sim.deadline import DeadlineExceeded
 from . import diskcache
+from .budget import AnalysisBudget, BudgetExhausted, CheckpointPolicy
 from .engine import STAT_NAMES, Engine, SectionLocks
 from .libspec import SpecLibrary
 from .schedule import precompute_summaries
@@ -113,6 +116,13 @@ class AnalysisProfile:
     level_times: List[float] = field(default_factory=list)
     scc_times: Dict[str, float] = field(default_factory=dict)
     interned_terms: Dict[str, int] = field(default_factory=dict)
+    # anytime analysis: sections coarsened to the global lock and why,
+    # plus the checkpoint/resume activity of this run's precompute
+    degraded_sections: int = 0
+    budget_reason: Optional[str] = None
+    checkpoints: int = 0
+    levels_skipped: int = 0
+    resumed_from_level: Optional[int] = None
 
     @property
     def total_time(self) -> float:
@@ -162,6 +172,16 @@ class AnalysisProfile:
                              key=lambda item: -item[1])[:5]
             for name, elapsed in slowest:
                 lines.append(f"    {name}: {elapsed:.3f}s")
+        if self.checkpoints or self.resumed_from_level is not None:
+            resumed = ("fresh" if self.resumed_from_level is None
+                       else f"resumed from level {self.resumed_from_level}")
+            lines.append(
+                f"  checkpoints:             {self.checkpoints}"
+                f" ({resumed}, {self.levels_skipped} levels warm)")
+        if self.degraded_sections:
+            lines.append(
+                f"  degraded sections:       {self.degraded_sections}"
+                f" ({self.budget_reason} budget; global lock fallback)")
         lines.append(f"  interned terms:          {interned}")
         return "\n".join(lines)
 
@@ -193,6 +213,11 @@ class AnalysisProfile:
             "level_times": list(self.level_times),
             "scc_times": dict(self.scc_times),
             "interned_terms": dict(self.interned_terms),
+            "degraded_sections": self.degraded_sections,
+            "budget_reason": self.budget_reason,
+            "checkpoints": self.checkpoints,
+            "levels_skipped": self.levels_skipped,
+            "resumed_from_level": self.resumed_from_level,
         }
 
 
@@ -271,6 +296,15 @@ class InferenceResult:
     pointer_time: float = 0.0
     dataflow_time: float = 0.0
     profile: Optional[AnalysisProfile] = None
+    # anytime analysis: section_id -> budget axis ("wall"/"steps"/"rss"/
+    # "deadline") for every section whose backward pass had not converged
+    # when the budget ran out; those sections carry the sound global-lock
+    # fallback [(⊤, X)] instead of an inferred set
+    degraded_sections: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.degraded_sections)
 
     @property
     def analysis_time(self) -> float:
@@ -319,10 +353,23 @@ class LockInference:
         enable_caches: bool = True,
         jobs: int = 1,
         cache_dir: Optional[str] = None,
+        budget: Optional[AnalysisBudget] = None,
+        allow_partial: bool = False,
+        checkpoint_every: int = 0,
+        on_checkpoint=None,
     ) -> None:
         if alias not in ("steensgaard", "andersen"):
             raise ValueError(f"unknown alias analysis {alias!r}")
         self.jobs = max(1, jobs)
+        # anytime knobs: *budget* bounds the solve; *allow_partial* turns
+        # budget/deadline expiry into a sound degraded result instead of
+        # an exception; *checkpoint_every* > 0 flushes converged bundles
+        # every N solved SCC levels (needs cache_dir); *on_checkpoint* is
+        # a per-flush hook for tests and operational tooling
+        self.budget = budget
+        self.allow_partial = allow_partial
+        self.checkpoint_every = max(0, checkpoint_every)
+        self.on_checkpoint = on_checkpoint
         self.cache_dir = cache_dir if enable_caches else None
         self._front_time = 0.0
         if isinstance(program, SharedAnalysis):
@@ -402,26 +449,60 @@ class LockInference:
                                             pointsto, self.k,
                                             self.use_effects, schedule)
             profile.cache_io_time += open_span.duration
+        if self.budget is not None:
+            self.budget.arm()
         engine = Engine(self.program, cfgs, pointsto, k=self.k,
                         use_effects=self.use_effects, specs=self.specs,
                         oracle=oracle, enable_caches=self.enable_caches,
-                        disk_cache=disk)
+                        disk_cache=disk, budget=self.budget)
+        if self.allow_partial:
+            # a partial unwind may persist converged summaries, so the
+            # engine must track its drained-worklist safe points
+            engine.track_finals = True
+        checkpoint = None
+        if self.checkpoint_every and disk is not None:
+            checkpoint = CheckpointPolicy(every=self.checkpoint_every,
+                                          on_checkpoint=self.on_checkpoint)
+        degraded_reason = None
         with trace.timed("analysis.dataflow", "inference") as flow_span:
-            if self.jobs > 1:
-                report = precompute_summaries(engine, schedule,
-                                              jobs=self.jobs)
-                profile.sccs_run = report.sccs_run
-                profile.level_times = list(report.level_times)
-                profile.scc_times = dict(report.scc_times)
-            for func_name, cfg in cfgs.items():
-                for section in cfg.sections.values():
-                    result.sections[section.section_id] = \
-                        engine.analyze_section(func_name, section)
+            try:
+                if self.jobs > 1 or checkpoint is not None:
+                    # checkpointing piggybacks on the bottom-up schedule:
+                    # level boundaries are exactly where every summary is
+                    # final, so serial runs take it too when asked
+                    report = precompute_summaries(engine, schedule,
+                                                  jobs=self.jobs,
+                                                  checkpoint=checkpoint)
+                    profile.sccs_run = report.sccs_run
+                    profile.level_times = list(report.level_times)
+                    profile.scc_times = dict(report.scc_times)
+                    profile.checkpoints = report.checkpoints
+                    profile.levels_skipped = report.levels_skipped
+                    profile.resumed_from_level = report.resumed_from_level
+                for func_name, cfg in cfgs.items():
+                    for section in cfg.sections.values():
+                        result.sections[section.section_id] = \
+                            engine.analyze_section(func_name, section)
+            except (BudgetExhausted, DeadlineExceeded) as exc:
+                if not self.allow_partial:
+                    raise
+                degraded_reason = (exc.reason if isinstance(
+                    exc, BudgetExhausted) else "deadline")
+                self._degrade(result, cfgs, engine, degraded_reason)
         result.dataflow_time = flow_span.duration
         if disk is not None:
             with trace.timed("diskcache.store-dirty",
                              "diskcache") as store_span:
-                disk.store_dirty(engine)
+                if degraded_reason is None:
+                    disk.store_dirty(engine)
+                else:
+                    # only the last safe-point snapshot may be persisted:
+                    # the live table can hold below-fixpoint (unsound to
+                    # reuse) values from the interrupted solve
+                    items, dirty = engine.converged_snapshot()
+                    if items is not None:
+                        disk.store_dirty(engine, items=items.items(),
+                                         dirty_funcs=dirty)
             profile.cache_io_time += store_span.duration
         profile.dataflow_time = result.dataflow_time
         profile.sections = len(result.sections)
@@ -432,7 +513,36 @@ class LockInference:
         # failure to a returned report
         engine.metrics.check_invariants()
         profile.interned_terms = interning_stats()
+        if degraded_reason is not None:
+            profile.degraded_sections = len(result.degraded_sections)
+            profile.budget_reason = degraded_reason
         return result
+
+    def _degrade(self, result: InferenceResult, cfgs: Dict[str, CFG],
+                 engine: Engine, reason: str) -> None:
+        """Finish a budget-exhausted run soundly: every section whose
+        backward pass has not converged gets the lattice top ``[(⊤, X)]``
+        — the global exclusive lock protects every access, so Theorem 1
+        holds trivially, and sections analyzed before exhaustion keep
+        their exact (fixpoint) lock sets: a pure coarsening.
+        """
+        fallback = frozenset({global_lock(RW)})
+        for func_name, cfg in cfgs.items():
+            for section in cfg.sections.values():
+                sid = section.section_id
+                if sid not in result.sections:
+                    result.sections[sid] = SectionLocks(
+                        sid, func_name, fallback)
+                    result.degraded_sections[sid] = reason
+        degraded = len(result.degraded_sections)
+        gauge = engine.metrics.gauge(
+            "analysis_degraded_sections", labels=("reason",),
+            help="sections coarsened to the global lock this run")
+        gauge.labels(reason).set(degraded)
+        tracer = trace.get_tracer()
+        if tracer.enabled:
+            tracer.event(envelope("budget-exhausted", reason=reason,
+                                  degraded=degraded))
 
 
 def infer_locks(

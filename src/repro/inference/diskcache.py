@@ -50,6 +50,7 @@ threads):
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import sys
@@ -366,7 +367,7 @@ class AnalysisDiskCache:
                           outcome="hit", entries=len(record[1]))
         return dict(record[1])
 
-    def store_dirty(self, engine) -> int:
+    def store_dirty(self, engine, *, items=None, dirty_funcs=None) -> int:
         """Persist the bundles of every function the solve changed.
 
         Loaded-and-unchanged functions keep their existing record; a
@@ -383,12 +384,23 @@ class AnalysisDiskCache:
         deletes them), so fresh-read-plus-dirty-merge loses nothing.
         On lock timeout the store is skipped and counted; the summaries
         simply recompute next run.
+
+        *items*/*dirty_funcs* override the engine's live table with a
+        safe-point snapshot (``engine.converged_snapshot()``): persisted
+        bundles are treated as final and never recomputed, so a partial
+        (budget-exhausted) unwind or a mid-run checkpoint must only flush
+        summaries captured with the worklist drained — live mid-fixpoint
+        values are below the fixpoint and would poison future runs.
         """
+        if items is None:
+            items = engine.summary_items()
+        if dirty_funcs is None:
+            dirty_funcs = engine.dirty_funcs
         per_func: Dict[str, Dict[tuple, object]] = {}
-        for key, value in engine.summary_items():
+        for key, value in items:
             per_func.setdefault(key[1], {})[key] = value
         dirty: Dict[str, Tuple[str, Dict]] = {}
-        for func_name in sorted(engine.dirty_funcs):
+        for func_name in sorted(dirty_funcs):
             entries = per_func.get(func_name)
             cone = self.cone.get(func_name)
             if entries and cone is not None:
@@ -429,6 +441,46 @@ class AnalysisDiskCache:
             return
         _atomic_write(path, _pickle(locks))
         self.stats["sections_stored"] += 1
+
+    # -- checkpoint progress cursor ------------------------------------
+
+    def _progress_path(self) -> str:
+        # keyed by the same salt as the summary table: a cursor is only
+        # meaningful against the bundles it was written with
+        return os.path.join(self.root, "progress", f"{self.salt[:32]}.json")
+
+    def store_progress(self, **fields) -> None:
+        """Atomically rewrite the ``progress.json`` cursor.
+
+        Human-readable JSON, written tmp+rename like everything else, so
+        a SIGKILL leaves either the old cursor or the new one — never a
+        torn file.  The cursor is advisory (resume correctness comes from
+        the cone-hashed bundles themselves); it records where the last
+        checkpoint landed for observability and the resume event.
+        """
+        record = {"v": 1, "salt": self.salt[:32], "ts": time.time()}
+        record.update(fields)
+        payload = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        _atomic_write(self._progress_path(), payload)
+
+    def load_progress(self) -> Optional[Dict]:
+        """The last checkpoint cursor, or ``None`` (missing/corrupt/stale
+        salt — all equivalent: start from what the bundles provide)."""
+        try:
+            with open(self._progress_path(), encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("salt") != self.salt[:32]:
+            return None
+        return record
+
+    def clear_progress(self) -> None:
+        """Drop the cursor after an uninterrupted completion."""
+        try:
+            os.unlink(self._progress_path())
+        except OSError:
+            pass
 
 
 def open_cache(root: str, program, pointsto, k: int,

@@ -188,6 +188,7 @@ class Engine:
         oracle: Optional[AliasOracle] = None,
         enable_caches: bool = True,
         disk_cache=None,
+        budget=None,
     ) -> None:
         self.program = program
         self.cfgs = cfgs
@@ -213,6 +214,15 @@ class Engine:
         self.loaded_funcs: Set[str] = set()
         self.computed_funcs: Set[str] = set()
         self.dirty_funcs: Set[str] = set()
+        # anytime analysis: an optional AnalysisBudget polled alongside the
+        # cooperative deadline, and a snapshot of the summary table taken at
+        # safe points (worklist drained) so a partial unwind only ever
+        # persists *final* summaries — mid-fixpoint values are below the
+        # fixpoint (= fewer locks) and must never reach the disk cache
+        self.budget = budget
+        self.track_finals = False
+        self._final_items: Optional[Dict[tuple, SummaryResult]] = None
+        self._final_dirty: Set[str] = set()
         # per-function write-effect memo (for caller-local terms across calls)
         self._written_classes: Dict[str, Optional[FrozenSet[int]]] = {}
         # performance caches (see module docstring); both bypassed when
@@ -247,12 +257,43 @@ class Engine:
     # public API
     # ------------------------------------------------------------------
 
+    def _poll(self) -> None:
+        """One budget/deadline poll: raises ``DeadlineExceeded`` or
+        ``BudgetExhausted`` the moment either ceiling is hit."""
+        check_deadline()
+        if self.budget is not None:
+            self.budget.check(self.stats["dataflow_steps"])
+
+    def mark_converged(self) -> None:
+        """Snapshot the summary table at a drained-worklist safe point.
+
+        Called at level boundaries in ``precompute_summaries`` and after
+        each converged section.  Only these snapshots may be persisted by
+        a partial (budget-exhausted) unwind; anything newer may contain
+        below-fixpoint values.  No-op unless ``track_finals`` is set, so
+        full runs pay nothing.
+        """
+        if not self.track_finals:
+            return
+        self._final_items = dict(self._summaries)
+        self._final_dirty = set(self.dirty_funcs)
+
+    def converged_snapshot(self):
+        """The latest safe-point snapshot as ``(items, dirty)``.
+
+        ``items`` is ``None`` when no safe point has been reached yet.
+        """
+        return self._final_items, self._final_dirty
+
     def analyze_section(self, func_name: str, section: SectionInfo) -> SectionLocks:
         """Infer the lock set protecting one atomic section."""
-        check_deadline()  # at least one poll per section, however small
+        self._poll()  # at least one poll per section, however small
         with self._tracer.span("section.analyze", "inference",
                                func=func_name, section=section.section_id):
             result = self._analyze_section(func_name, section)
+        # the section converged, so the worklist is drained and every
+        # summary in the table is at its fixpoint: a safe point
+        self.mark_converged()
         if self._tracer.enabled:
             self._tracer.instant(
                 "locks-chosen", "inference", section=section.section_id,
@@ -365,7 +406,7 @@ class Engine:
         changed: Set[tuple] = set()
         tracer = self._tracer
         while self._worklist:
-            check_deadline()  # each pop is a whole function dataflow
+            self._poll()  # each pop is a whole function dataflow
             key = self._worklist.popleft()
             self._queued.discard(key)
             if tracer.enabled:
@@ -485,7 +526,7 @@ class Engine:
         while worklist:
             pops += 1
             if not pops % DEADLINE_POLL_EVERY:
-                check_deadline()
+                self._poll()
             _, _, node = heapq.heappop(worklist)
             queued.discard(node.uid)
             out: TermSet = {}
@@ -520,7 +561,7 @@ class Engine:
         while worklist:
             pops += 1
             if not pops % DEADLINE_POLL_EVERY:
-                check_deadline()
+                self._poll()
             _, _, node = heapq.heappop(worklist)
             queued.discard(node.uid)
             if node is cfg.exit:

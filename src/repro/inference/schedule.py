@@ -35,7 +35,9 @@ from typing import Dict, List, Optional, Sequence, Set
 from ..cfg import CallSchedule, build_schedule
 from ..lang import ir
 from ..obs import trace
-from ..sim.deadline import check_deadline
+from ..obs.events import envelope
+from ..sim.deadline import DeadlineExceeded
+from .budget import BudgetExhausted, CheckpointPolicy
 from .engine import Engine
 
 # The engine a forked worker process inherits; set in the parent
@@ -69,6 +71,80 @@ class PrecomputeReport:
     funcs_targeted: int = 0
     level_times: List[float] = field(default_factory=list)
     scc_times: Dict[str, float] = field(default_factory=dict)
+    # crash-safe checkpointing: flushes performed this run, the cursor a
+    # previous interrupted run left behind (None = fresh start), and how
+    # many targeted levels were already warm (bundle-satisfied) on entry
+    checkpoints: int = 0
+    resumed_from_level: Optional[int] = None
+    levels_skipped: int = 0
+
+
+class _Checkpointer:
+    """Level-boundary checkpoint driver for ``precompute_summaries``.
+
+    At every completed level the engine's summary table holds only final
+    values (bottom-up scheduling), so ``mark_converged`` is always taken
+    there; every ``policy.every``-th completed level with work, the
+    converged snapshot is flushed through ``store_dirty`` and the
+    ``progress.json`` cursor is rewritten atomically.  With no policy (or
+    no disk cache) everything degrades to the safe-point bookkeeping.
+    """
+
+    def __init__(self, engine: Engine, schedule: CallSchedule,
+                 policy: Optional[CheckpointPolicy],
+                 report: PrecomputeReport) -> None:
+        self.engine = engine
+        self.policy = policy
+        self.disk = engine._disk if policy is not None else None
+        self.report = report
+        self.levels_total = len(schedule.levels)
+        self.since_flush = 0
+        if self.disk is not None:
+            # checkpoint snapshots must only ever hold drained-worklist
+            # (final) summaries; enable the engine-side tracking
+            engine.track_finals = True
+
+    def level_done(self, number: int) -> None:
+        """A level with pending work finished: safe point, maybe flush."""
+        self.engine.mark_converged()
+        if self.disk is None:
+            return
+        self.since_flush += 1
+        if self.since_flush >= max(1, self.policy.every):
+            self.flush(number)
+
+    def flush(self, number: int, force: bool = False) -> None:
+        """Flush the latest converged snapshot plus the progress cursor.
+
+        *force* flushes even between level boundaries — the unwind path
+        uses it after draining a partially merged level.
+        """
+        if self.disk is None or not (self.since_flush or force):
+            return
+        items, dirty = self.engine.converged_snapshot()
+        if items is None:
+            return
+        with trace.timed("schedule.checkpoint", "inference", level=number):
+            stored = self.disk.store_dirty(
+                self.engine, items=items.items(), dirty_funcs=dirty)
+            self.disk.store_progress(
+                level=number, levels=self.levels_total, bundles=stored)
+        self.since_flush = 0
+        self.report.checkpoints += 1
+        tracer = trace.get_tracer()
+        if tracer.enabled:
+            tracer.event(envelope("checkpoint", level=number,
+                                  bundles=stored))
+        if self.policy.on_checkpoint is not None:
+            self.policy.on_checkpoint(number)
+
+    def finish(self) -> None:
+        """Uninterrupted completion: flush any tail, drop the cursor."""
+        self.engine.mark_converged()
+        if self.disk is None:
+            return
+        self.flush(self.levels_total - 1)
+        self.disk.clear_progress()
 
 
 def relevant_functions(engine: Engine, schedule: CallSchedule) -> Set[str]:
@@ -118,6 +194,7 @@ def precompute_summaries(
     schedule: Optional[CallSchedule] = None,
     jobs: int = 1,
     targets: Optional[Set[str]] = None,
+    checkpoint: Optional[CheckpointPolicy] = None,
 ) -> PrecomputeReport:
     """Solve access summaries for *targets* bottom-up; fan levels out over
     *jobs* worker processes when ``jobs > 1``.
@@ -126,6 +203,13 @@ def precompute_summaries(
     whose access summary is already present (e.g. loaded from the disk
     cache) are skipped, which is what restricts an incremental re-run to
     the dirty SCC cone.
+
+    With a :class:`CheckpointPolicy` (and a disk cache on the engine),
+    converged bundles are flushed every ``checkpoint.every`` solved
+    levels together with an atomic ``progress.json`` cursor; a rerun
+    after SIGKILL then finds the flushed bundles warm, skips their
+    levels, and — by the cone-hash discipline — produces a result
+    tick-identical to an uninterrupted run.
     """
     if schedule is None:
         schedule = build_schedule(engine.program)
@@ -158,22 +242,41 @@ def precompute_summaries(
     report.funcs_targeted = sum(
         len(schedule.sccs[idx]) for level in pending for idx in level
     )
+    # targeted levels whose members were all bundle-satisfied on entry —
+    # exactly what a resume after a checkpoint gets for free
+    report.levels_skipped = sum(
+        1 for level, todo in zip(schedule.levels, pending)
+        if not todo and any(
+            name in targets for idx in level for name in schedule.sccs[idx])
+    )
+    ckpt = _Checkpointer(engine, schedule, checkpoint, report)
+    if ckpt.disk is not None:
+        progress = ckpt.disk.load_progress()
+        if progress is not None:
+            report.resumed_from_level = progress.get("level")
+            tracer = trace.get_tracer()
+            if tracer.enabled:
+                tracer.event(envelope(
+                    "resume", level=int(progress.get("level", -1)),
+                    levels_skipped=report.levels_skipped))
     jobs = effective_jobs(jobs)
     report.jobs = jobs
     with trace.span("schedule.precompute", "inference", jobs=jobs,
                     targets=len(targets)):
         if jobs <= 1:
-            _run_serial(engine, schedule, pending, report)
+            _run_serial(engine, schedule, pending, report, ckpt)
         else:
-            _run_parallel(engine, schedule, pending, jobs, report)
+            _run_parallel(engine, schedule, pending, jobs, report, ckpt)
+    ckpt.finish()
     return report
 
 
 def _run_serial(engine: Engine, schedule: CallSchedule,
-                pending: List[List[int]], report: PrecomputeReport) -> None:
+                pending: List[List[int]], report: PrecomputeReport,
+                ckpt: _Checkpointer) -> None:
     for number, level in enumerate(pending):
         level_started = time.perf_counter()
-        check_deadline()  # cooperative per-request budget between levels
+        engine._poll()  # cooperative deadline/budget between levels
         for idx in level:
             label = _scc_label(schedule.sccs[idx])
             with trace.timed("schedule.scc", "inference", scc=label,
@@ -183,6 +286,7 @@ def _run_serial(engine: Engine, schedule: CallSchedule,
             report.sccs_run += 1
         if level:
             report.level_times.append(time.perf_counter() - level_started)
+            ckpt.level_done(number)
 
 
 def _scc_weight(engine: Engine, funcs: Sequence[str]) -> int:
@@ -254,16 +358,58 @@ def _solve_scc(payload: Dict[str, object]) -> Dict[str, object]:
     }
 
 
+def _merge_outcome(engine: Engine, delta: Dict[tuple, object],
+                   report: PrecomputeReport, schedule: CallSchedule,
+                   chunk: List[int], outcome: Dict[str, object]) -> None:
+    """Adopt one worker chunk's result into the parent engine."""
+    engine.import_summaries(outcome["entries"])
+    for key, value in outcome["entries"]:
+        delta[key] = value
+    for name, count in outcome["stats"].items():
+        engine.stats[name] += count
+    tracer = trace.get_tracer()
+    if outcome.get("spans") and tracer.enabled:
+        tracer.adopt(outcome["spans"])
+    label = _scc_label(schedule.sccs[chunk[0]])
+    if len(chunk) > 1:
+        label += f"[chunk of {len(chunk)}]"
+    report.scc_times[label] = outcome["elapsed"]
+    report.sccs_run += len(chunk)
+
+
+def _drain_finished(engine: Engine, schedule: CallSchedule,
+                    delta: Dict[tuple, object], report: PrecomputeReport,
+                    futures, ckpt: _Checkpointer, number: int) -> None:
+    """Deadline/budget expiry mid-merge must not discard the level's
+    completed chunks: every finished future holds fully solved (hence
+    final) SCC summaries.  Pull them into the table and checkpoint before
+    the exception unwinds; cancel whatever has not started.
+    """
+    for chunk, future in futures:
+        if not future.done():
+            future.cancel()
+            continue
+        try:
+            outcome = future.result()
+        except Exception:
+            continue  # the chunk that raised (or a sibling that also hit
+            # the budget); nothing final to adopt from it
+        _merge_outcome(engine, delta, report, schedule, chunk, outcome)
+    # drained entries are per-SCC final: worklists in their workers drained
+    engine.mark_converged()
+    ckpt.flush(number, force=True)
+
+
 def _run_parallel(engine: Engine, schedule: CallSchedule,
                   pending: List[List[int]], jobs: int,
-                  report: PrecomputeReport) -> None:
+                  report: PrecomputeReport, ckpt: _Checkpointer) -> None:
     import multiprocessing
 
     global _FORKED_ENGINE
     if "fork" not in multiprocessing.get_all_start_methods():
         # no fork (e.g. Windows): the snapshot trick is unavailable, fall
         # back to the serial schedule rather than pickling whole programs
-        _run_serial(engine, schedule, pending, report)
+        _run_serial(engine, schedule, pending, report, ckpt)
         return
     _FORKED_ENGINE = engine
     # entries created after the fork snapshot; parents of later levels
@@ -271,10 +417,10 @@ def _run_parallel(engine: Engine, schedule: CallSchedule,
     delta: Dict[tuple, object] = {}
     pool = None
     try:
-        for level in pending:
+        for number, level in enumerate(pending):
             if not level:
                 continue
-            check_deadline()  # parent-side poll; workers run to completion
+            engine._poll()  # parent-side poll; workers poll on their own
             level_started = time.perf_counter()
             weight = sum(
                 _scc_weight(engine, schedule.sccs[idx]) for idx in level)
@@ -292,6 +438,7 @@ def _run_parallel(engine: Engine, schedule: CallSchedule,
                     report.sccs_run += 1
                 report.level_times.append(
                     time.perf_counter() - level_started)
+                ckpt.level_done(number)
                 continue
             if pool is None:
                 # everything merged so far rides in the fork snapshot, so
@@ -322,21 +469,22 @@ def _run_parallel(engine: Engine, schedule: CallSchedule,
                                chunks=len(futures), sccs=len(level))
             with trace.span("schedule.merge", "inference",
                             chunks=len(futures)):
-                for chunk, future in futures:
-                    outcome = future.result()
-                    engine.import_summaries(outcome["entries"])
-                    for key, value in outcome["entries"]:
-                        delta[key] = value
-                    for name, count in outcome["stats"].items():
-                        engine.stats[name] += count
-                    if outcome.get("spans"):
-                        tracer.adopt(outcome["spans"])
-                    label = _scc_label(schedule.sccs[chunk[0]])
-                    if len(chunk) > 1:
-                        label += f"[chunk of {len(chunk)}]"
-                    report.scc_times[label] = outcome["elapsed"]
-                    report.sccs_run += len(chunk)
+                merged = 0
+                try:
+                    for chunk, future in futures:
+                        outcome = future.result()
+                        _merge_outcome(engine, delta, report, schedule,
+                                       chunk, outcome)
+                        merged += 1
+                except (DeadlineExceeded, BudgetExhausted):
+                    # the raising chunk is futures[merged]; salvage every
+                    # *other* unmerged chunk that did finish, then unwind
+                    _drain_finished(
+                        engine, schedule, delta, report,
+                        futures[merged + 1:], ckpt, number)
+                    raise
             report.level_times.append(time.perf_counter() - level_started)
+            ckpt.level_done(number)
     finally:
         if pool is not None:
             pool.shutdown(wait=True)

@@ -1,6 +1,7 @@
 """Mini-C language front end: AST, lexer, parser, printer, and lowering."""
 
 from . import ast, ir
+from .errors import SourceError
 from .lexer import LexError, Token, tokenize
 from .lower import LoweringError, lower_function, lower_program
 from .parser import ParseError, parse_expr, parse_program
@@ -14,6 +15,7 @@ from .printer import (
 __all__ = [
     "ast",
     "ir",
+    "SourceError",
     "tokenize",
     "Token",
     "LexError",

@@ -1,0 +1,74 @@
+"""One structured diagnostic type for every front-end failure.
+
+:class:`SourceError` is the base of ``LexError``, ``ParseError``,
+``ValidationError``, and ``LoweringError``: any malformed input, from a
+stray byte to a call-arity mismatch, surfaces as one exception type
+carrying a message, the pipeline phase that rejected the input, a
+line/column position when one is known, and (via :meth:`diagnostic`) a
+rustc-style source excerpt with a caret.  ``repro analyze`` catches it,
+prints the diagnostic to stderr, and exits 2 — never a traceback.  Any
+*other* exception escaping the front end is a genuine bug, which is
+exactly what ``repro fuzz`` hunts for.
+"""
+
+from typing import Optional
+
+__all__ = ["SourceError"]
+
+
+class SourceError(Exception):
+    """A structured front-end diagnostic.
+
+    ``line``/``col`` are 1-based; either may be ``None`` when the failing
+    phase has no precise position (lowering and validation diagnostics
+    identify constructs, not offsets).
+    """
+
+    phase = "frontend"
+
+    def __init__(self, message: str, *, line: Optional[int] = None,
+                 col: Optional[int] = None,
+                 phase: Optional[str] = None) -> None:
+        self.message = message
+        self.line = line
+        self.col = col
+        if phase is not None:
+            self.phase = phase
+        super().__init__(self._headline())
+
+    def _headline(self) -> str:
+        where = ""
+        if self.line is not None:
+            where = f" at line {self.line}"
+            if self.col is not None:
+                where += f", col {self.col}"
+        return f"{self.message}{where}"
+
+    def diagnostic(self, source: Optional[str] = None) -> str:
+        """Render the error with an excerpt of *source* when available.
+
+        ::
+
+            error[parse]: expected ';' (got '}')
+              --> line 4, col 7
+               |
+             4 |     x = y
+               |       ^
+        """
+        out = [f"error[{self.phase}]: {self.message}"]
+        if self.line is not None:
+            loc = f"line {self.line}"
+            if self.col is not None:
+                loc += f", col {self.col}"
+            out.append(f"  --> {loc}")
+            if source is not None:
+                lines = source.splitlines()
+                if 1 <= self.line <= len(lines):
+                    prefix = f" {self.line} | "
+                    gutter = " " * (len(prefix) - 2) + "|"
+                    out.append(gutter)
+                    out.append(prefix + lines[self.line - 1])
+                    if self.col is not None and self.col >= 1:
+                        out.append(" " * (len(prefix) - 2) + "|"
+                                   + " " * self.col + "^")
+        return "\n".join(out)

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List
 
+from .errors import SourceError
+
 KEYWORDS = {
     "struct",
     "int",
@@ -23,12 +25,13 @@ TWO_CHAR_OPS = {"==", "!=", "<=", ">=", "&&", "||", "->"}
 ONE_CHAR_OPS = set("+-*/%<>=!&(){}[];,.")
 
 
-class LexError(Exception):
+class LexError(SourceError):
     """Raised when the input contains an unrecognizable character."""
 
-    def __init__(self, message: str, line: int) -> None:
-        super().__init__(f"line {line}: {message}")
-        self.line = line
+    phase = "lex"
+
+    def __init__(self, message: str, line: int, col: int = None) -> None:
+        super().__init__(message, line=line, col=col)
 
 
 @dataclass(frozen=True)
@@ -36,6 +39,7 @@ class Token:
     kind: str  # "ident" | "int" | "kw" | "op" | "eof"
     text: str
     line: int
+    col: int = 0  # 1-based column of the first character
 
     def __repr__(self) -> str:
         return f"Token({self.kind}, {self.text!r}, line={self.line})"
@@ -45,11 +49,17 @@ def tokenize(source: str) -> List[Token]:
     """Split *source* into a token list ending with an ``eof`` token."""
     tokens: List[Token] = []
     i, n, line = 0, len(source), 1
+    line_start = 0  # index just past the most recent newline
+
+    def col(at: int) -> int:
+        return at - line_start + 1
+
     while i < n:
         ch = source[i]
         if ch == "\n":
             line += 1
             i += 1
+            line_start = i
             continue
         if ch in " \t\r":
             i += 1
@@ -61,15 +71,16 @@ def tokenize(source: str) -> List[Token]:
         if ch == "/" and i + 1 < n and source[i + 1] == "*":
             end = source.find("*/", i + 2)
             if end < 0:
-                raise LexError("unterminated block comment", line)
+                raise LexError("unterminated block comment", line, col(i))
             line += source.count("\n", i, end)
             i = end + 2
+            line_start = source.rfind("\n", 0, i) + 1
             continue
         if ch.isdigit():
             j = i
             while j < n and source[j].isdigit():
                 j += 1
-            tokens.append(Token("int", source[i:j], line))
+            tokens.append(Token("int", source[i:j], line, col(i)))
             i = j
             continue
         if ch.isalpha() or ch == "_" or ch == "$":
@@ -78,19 +89,19 @@ def tokenize(source: str) -> List[Token]:
                 j += 1
             text = source[i:j]
             kind = "kw" if text in KEYWORDS else "ident"
-            tokens.append(Token(kind, text, line))
+            tokens.append(Token(kind, text, line, col(i)))
             i = j
             continue
         if source[i : i + 2] in TWO_CHAR_OPS:
-            tokens.append(Token("op", source[i : i + 2], line))
+            tokens.append(Token("op", source[i : i + 2], line, col(i)))
             i += 2
             continue
         if ch in ONE_CHAR_OPS:
-            tokens.append(Token("op", ch, line))
+            tokens.append(Token("op", ch, line, col(i)))
             i += 1
             continue
-        raise LexError(f"unexpected character {ch!r}", line)
-    tokens.append(Token("eof", "", line))
+        raise LexError(f"unexpected character {ch!r}", line, col(i))
+    tokens.append(Token("eof", "", line, col(i)))
     return tokens
 
 

@@ -13,12 +13,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple, Union
 
 from . import ast, ir
+from .errors import SourceError
 
 COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
 
 
-class LoweringError(Exception):
-    pass
+class LoweringError(SourceError):
+    phase = "lower"
 
 
 class _FunctionLowerer:

@@ -21,12 +21,17 @@ from __future__ import annotations
 from typing import List, Optional
 
 from . import ast
+from .errors import SourceError
 from .lexer import Token, tokenize
 
 
-class ParseError(Exception):
+class ParseError(SourceError):
+    phase = "parse"
+
     def __init__(self, message: str, token: Token) -> None:
-        super().__init__(f"line {token.line}: {message} (got {token.text!r})")
+        super().__init__(f"{message} (got {token.text!r})",
+                         line=token.line,
+                         col=getattr(token, "col", None) or None)
         self.token = token
 
 
@@ -335,7 +340,14 @@ class Parser:
 
 def parse_program(source: str) -> ast.Program:
     """Parse mini-C *source* text into a :class:`repro.lang.ast.Program`."""
-    return Parser(source).parse_program()
+    parser = Parser(source)
+    try:
+        return parser.parse_program()
+    except RecursionError:
+        # a recursive-descent parser overflows on pathologically nested
+        # input; that is a property of the input, not a crash
+        raise ParseError("expression nesting too deep",
+                         parser.peek()) from None
 
 
 def parse_expr(source: str) -> ast.Expr:

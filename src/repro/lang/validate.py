@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Set
 
 from . import ast
+from .errors import SourceError
 
 
 @dataclass(frozen=True)
@@ -26,7 +27,9 @@ class Diagnostic:
         return self.message + where
 
 
-class ValidationError(Exception):
+class ValidationError(SourceError):
+    phase = "validate"
+
     def __init__(self, diagnostics: List[Diagnostic]) -> None:
         super().__init__("\n".join(str(d) for d in diagnostics))
         self.diagnostics = diagnostics

@@ -121,6 +121,13 @@ EVENT_KINDS.update(_kinds("tracer", {
                 "track": (int, str), "values": _DICT},
     "metrics": {"snapshot": _DICT},
 }))
+EVENT_KINDS.update(_kinds("inference", {
+    # anytime analysis: a budget axis was spent and sections degraded to
+    # the global lock; checkpoint/resume cursors from precompute_summaries
+    "budget-exhausted": {"reason": _STR, "degraded": _INT},
+    "checkpoint": {"level": _INT, "bundles": _INT},
+    "resume": {"level": _INT, "levels_skipped": _INT},
+}))
 
 
 def envelope(kind: str, /, ts: Optional[float] = None,

@@ -10,6 +10,14 @@ versioned envelope (see ``docs/SERVING.md`` for the full spec):
   ``{"v": 1, "id": "<req-id>", "ok": false, "error": "<code>",
   "message": "<human text>"}``.
 
+``analyze`` requests may set ``allow_partial: true`` to opt into anytime
+results: instead of a ``deadline`` error, an expired request deadline
+yields ``ok: true`` with ``partial: true`` and ``degraded_sections``
+listing the sections that carry the sound global-lock fallback (see
+``docs/ROBUSTNESS.md``).  Requests are idempotent by construction (same
+source + config → same result), which is what makes client-side retry on
+connection failures safe.
+
 Error codes are closed (:data:`ERROR_CODES`): ``backpressure`` (the
 bounded request queue is full — retry later), ``deadline`` (the request's
 wall-clock budget ran out mid-analysis), ``bad-request`` (malformed frame

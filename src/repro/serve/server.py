@@ -40,6 +40,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..inference import LockInference
 from ..inference.analysis import SharedAnalysis
+from ..lang import SourceError
 from ..obs import trace
 from ..obs.events import EventWriter, envelope
 from ..obs.metrics import MetricsRegistry
@@ -383,6 +384,7 @@ class AnalysisServer:
         k = request.get("k", 9)
         use_effects = bool(request.get("use_effects", True))
         want_pickle = bool(request.get("want_pickle", False))
+        allow_partial = bool(request.get("allow_partial", False))
         if not isinstance(k, int) or k < 0:
             self._error(conn, send_lock, req_id, "analyze", "bad-request",
                         f"bad k {k!r}", started)
@@ -392,12 +394,20 @@ class AnalysisServer:
             if deadline is not None:
                 set_deadline(float(deadline))
             try:
-                payload = self._analyze(source, k, use_effects, want_pickle)
+                payload = self._analyze(source, k, use_effects, want_pickle,
+                                        allow_partial)
             finally:
                 clear_deadline()
         except DeadlineExceeded as err:
+            # only reachable without allow_partial: opted-in requests get
+            # a degraded-but-sound partial payload instead (the solver
+            # converts the expiry into global-lock fallbacks)
             self._error(conn, send_lock, req_id, "analyze", "deadline",
                         str(err), started)
+            return
+        except SourceError as err:
+            self._error(conn, send_lock, req_id, "analyze", "bad-request",
+                        err.diagnostic(source), started)
             return
         except Exception as err:  # noqa: BLE001 - one request, not the server
             self._error(conn, send_lock, req_id, "analyze", "analysis-error",
@@ -409,7 +419,8 @@ class AnalysisServer:
                      served=served, payload=payload)
 
     def _analyze(self, source: str, k: int, use_effects: bool,
-                 want_pickle: bool) -> Dict[str, object]:
+                 want_pickle: bool,
+                 allow_partial: bool = False) -> Dict[str, object]:
         if self._analyzer is not None:
             payload = dict(self._analyzer(source, k, use_effects))
             payload.setdefault("served", "computed")
@@ -431,7 +442,8 @@ class AnalysisServer:
                     memo = self._memo.get(key)
                     result = self._results.get(key)
                 if memo is None:
-                    payload, result = self._compute(source, sha, key)
+                    payload, result = self._compute(source, sha, key,
+                                                    allow_partial)
                     if want_pickle:
                         payload = dict(payload, pickle=self._encode(result))
                     return payload
@@ -446,7 +458,8 @@ class AnalysisServer:
 
         return base64.b64encode(_pickle(result)).decode("ascii")
 
-    def _compute(self, source: str, sha: str, key):
+    def _compute(self, source: str, sha: str, key,
+                 allow_partial: bool = False):
         with self._state_lock:
             front = self._fronts.get(sha)
         if front is None:
@@ -454,11 +467,15 @@ class AnalysisServer:
             with self._state_lock:
                 self._fronts[sha] = front
         result = LockInference(front, k=key[1], use_effects=key[2],
-                               cache_dir=self.cache_dir).run()
+                               cache_dir=self.cache_dir,
+                               allow_partial=allow_partial).run()
         counts = result.lock_counts()
         profile = result.profile
-        served = ("warm" if profile is not None
-                  and profile.dataflow_steps == 0 else "computed")
+        if result.partial:
+            served = "partial"
+        else:
+            served = ("warm" if profile is not None
+                      and profile.dataflow_steps == 0 else "computed")
         payload: Dict[str, object] = {
             "sections": result.describe(),
             "counts": {
@@ -472,10 +489,17 @@ class AnalysisServer:
             "pointer_time": result.pointer_time,
             "dataflow_time": result.dataflow_time,
             "profile": profile.as_dict() if profile is not None else None,
+            "partial": result.partial,
+            "degraded_sections": sorted(result.degraded_sections),
             "served": served,
         }
         with self._state_lock:
-            self._memo[key] = {
-                f: v for f, v in payload.items() if f != "served"}
-            self._results[key] = result
+            if not result.partial:
+                # partial payloads are never memoized: the next request
+                # (or one without the deadline pressure) should get the
+                # chance to converge fully, and a complete memo may serve
+                # later allow_partial requests outright
+                self._memo[key] = {
+                    f: v for f, v in payload.items() if f != "served"}
+                self._results[key] = result
         return payload, result
