@@ -10,7 +10,9 @@ Commands:
   makes warm reruns of an unchanged file skip the dataflow outright;
   ``--profile`` appends the AnalysisProfile (phase timers, per-SCC
   timings, solver counters, transfer-cache and disk-cache hit rates,
-  intern-table sizes);
+  the bitset kernel's mask-hit rate / fallback count / fact-interner
+  size / peak IN-set popcount, alias-class cache traffic, intern-table
+  sizes);
 * ``transform <file.mc> [--k K]`` — print the transformed (acquireAll /
   releaseAll) program;
 * ``run <bench> --config CFG [--threads N] [--ops N] [--setting S]`` —
@@ -595,7 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the persistent cross-run analysis cache")
     p.add_argument("--profile", action="store_true",
                    help="print the AnalysisProfile (phase timers, solver "
-                        "counters, cache hit rates)")
+                        "counters, bitset kernel stats, cache hit rates)")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="record analysis spans to this JSONL file "
                         "(render with: repro trace PATH)")

@@ -85,10 +85,15 @@ class AnalysisProfile:
     ``pointer_time`` report the shared front half's one-time cost, which a
     sweep pays once, not per configuration.
     Counter semantics: ``dataflow_steps`` counts transfer-function
-    *executions*, ``transfer_cache_hits`` counts transfers answered from
-    the per-node memo instead, ``summary_runs`` counts whole-function
-    summary dataflows, and ``section_reruns`` counts region re-analyses
-    forced by a changed summary dependency.
+    *executions*, ``transfer_cache_hits`` counts call-node transfers
+    answered from the whole-set cache instead, ``mask_hits`` /
+    ``mask_fallbacks`` split the bitset kernel's statement transfers into
+    visits served entirely by precomputed masks/memos vs visits that had
+    to build at least one per-term memo entry, ``summary_runs`` counts
+    whole-function summary dataflows, and ``section_reruns`` counts region
+    re-analyses forced by a changed summary dependency.  ``fact_terms`` is
+    the size of the run's fact interner (each term carries an ro and an rw
+    fact ID) and ``peak_bitset_popcount`` the largest converged IN set.
     """
 
     k: int = 0
@@ -108,6 +113,12 @@ class AnalysisProfile:
     transfer_cache_hits: int = 0
     transfer_cache_misses: int = 0
     transfer_cache_stale: int = 0
+    mask_hits: int = 0
+    mask_fallbacks: int = 0
+    fact_terms: int = 0
+    peak_bitset_popcount: int = 0
+    alias_class_hits: int = 0
+    alias_class_misses: int = 0
     summaries_from_disk: int = 0
     sections_from_disk: int = 0
     scc_count: int = 0
@@ -134,6 +145,11 @@ class AnalysisProfile:
         tried = self.transfer_cache_hits + self.transfer_cache_misses
         return self.transfer_cache_hits / tried if tried else 0.0
 
+    @property
+    def mask_hit_rate(self) -> float:
+        visits = self.mask_hits + self.mask_fallbacks
+        return self.mask_hits / visits if visits else 0.0
+
     def describe(self) -> str:
         shared = " (shared)" if self.front_shared else ""
         if self.front_from_disk:
@@ -159,6 +175,17 @@ class AnalysisProfile:
             f"  summary runs:            {self.summary_runs}",
             f"  section reruns:          {self.section_reruns}",
         ])
+        if self.mask_hits or self.mask_fallbacks:
+            lines.append(
+                f"  bitset kernel:           {self.mask_hits} mask hits,"
+                f" {self.mask_fallbacks} fallbacks"
+                f" ({self.mask_hit_rate:.0%} mask-hit rate),"
+                f" {self.fact_terms} fact terms,"
+                f" peak IN set {self.peak_bitset_popcount} bits")
+        if self.alias_class_hits or self.alias_class_misses:
+            lines.append(
+                f"  alias class cache:       {self.alias_class_hits} hits /"
+                f" {self.alias_class_misses} misses")
         if self.cache_io_time or self.summaries_from_disk or self.sections_from_disk:
             lines.append(
                 f"  disk cache:              {self.cache_io_time:.3f}s io,"
@@ -205,6 +232,12 @@ class AnalysisProfile:
             "transfer_cache_hits": self.transfer_cache_hits,
             "transfer_cache_misses": self.transfer_cache_misses,
             "transfer_cache_stale": self.transfer_cache_stale,
+            "mask_hits": self.mask_hits,
+            "mask_fallbacks": self.mask_fallbacks,
+            "fact_terms": self.fact_terms,
+            "peak_bitset_popcount": self.peak_bitset_popcount,
+            "alias_class_hits": self.alias_class_hits,
+            "alias_class_misses": self.alias_class_misses,
             "summaries_from_disk": self.summaries_from_disk,
             "sections_from_disk": self.sections_from_disk,
             "scc_count": self.scc_count,
@@ -508,6 +541,10 @@ class LockInference:
         profile.sections = len(result.sections)
         for name in STAT_NAMES:
             setattr(profile, name, engine.stats[name])
+        profile.fact_terms = engine.fact_terms
+        profile.peak_bitset_popcount = engine.peak_bits
+        profile.alias_class_hits = engine.oracle.stats["class_hits"]
+        profile.alias_class_misses = engine.oracle.stats["class_misses"]
         # the registry's cross-counter invariants (transfer-cache partition)
         # are enforced at this collection point; python -O downgrades the
         # failure to a returned report

@@ -27,6 +27,14 @@ Entries are pickled with the interned-term ``__reduce__`` hooks, so terms
 re-intern on load; writes go through a temp file + ``os.replace`` so
 concurrent runs sharing a cache root never observe torn files.
 
+Serialization boundary invariant: cached values hold *terms*, never the
+engine's dense fact-interner IDs (:mod:`repro.inference.facts`).  IDs are
+assigned in per-run first-interning order, so they are meaningless in any
+other process or run; keeping the stored form term-shaped means the salt
+and cone-hash scheme above is entirely unaffected by the bitset kernel,
+and a loading engine simply re-interns terms into its own ID space on
+first use (no schema bump, no remap on load).
+
 Concurrency discipline (the cache is shared by parallel ``repro analyze``
 processes, bench-executor workers, and the ``repro serve`` worker
 threads):

@@ -30,13 +30,24 @@ against):
 * section runs converge by **dependency-driven invalidation**: a section is
   re-run only when a summary it actually demanded changed, not whenever any
   summary anywhere moved;
-* per-node **transfer-result caching**: a node's transfer output is a pure
-  function of its OUT set (plus, for call nodes, the summary table), so
-  results are memoized per (run, node, OUT set); call-node entries carry
-  the summary generation at which they were computed and are recomputed
-  (counted as *stale*, not as cache misses — they could never have hit)
-  when a summary changed underneath them, statement-node entries never go
-  stale;
+* the dataflow core runs on **int bitsets** (see
+  :mod:`repro.inference.facts`): every ``(term, effect)`` fact is interned
+  to a dense per-run ID, per-node IN/OUT sets are arbitrary-precision
+  ``int``s, the join is a single bitwise OR and fixpoint change detection
+  is integer equality;
+* statement transfers are distributive over the fact set and
+  effect-linear, so each node gets a memoized **gen/kill kernel**: a
+  precomputed gen bitset plus an *identity mask* of fact pairs proven to
+  pass through the node's write unchanged — a repeat visit is two integer
+  ops — with a per-term memo of pre-image bits and coarse emissions for
+  the non-identity remainder (the per-fact fallback path);
+* call-node transfers read the summary table (non-distributive), so they
+  keep a **whole-set cache** keyed on the OUT bitset; entries carry the
+  summary generation at which they were computed — recomputed in place
+  (counted as *stale*, not as cache misses: they could never have hit)
+  when a summary changed underneath them — and the summary keys they
+  demanded, which hits re-register for the hitting run's requester so
+  dependency-driven invalidation still observes the demand;
 * **worklist prioritization**: dataflow runs pop nodes in reverse
   postorder of the reversed CFG (exit first), so exit-side facts reach
   their predecessors in one sweep per loop nest and re-enqueued
@@ -82,8 +93,16 @@ from ..obs.trace import get_tracer
 from ..pointer.aliasing import AliasOracle
 from ..pointer.steensgaard import PointsTo
 from ..sim.deadline import check_deadline
+from .facts import FactInterner, popcount
 from .libspec import SpecLibrary, reachable_classes
-from .subst import Substituter, WriteInfo, atom_to_index, write_for_assign
+from .subst import (
+    Substituter,
+    WriteInfo,
+    atom_to_index,
+    write_for_assign,
+    write_for_return,
+    write_for_store,
+)
 
 # A dataflow fact set: term -> strongest effect required.
 TermSet = Dict[Term, str]
@@ -100,6 +119,12 @@ ACCESS = "$access"
 DEADLINE_POLL_EVERY = 128
 
 # The engine's solver counters, grouped in one registry-backed bundle.
+# ``dataflow_steps`` counts executed transfers; with caches on, every step
+# is exactly one of: a call-cache miss, a call-cache stale recompute, a
+# kernel visit fully served by masks/memos (``mask_hits``), or a kernel
+# visit that had to build at least one per-term memo entry
+# (``mask_fallbacks``).  Call-cache *hits* execute nothing and sit outside
+# the partition.
 STAT_NAMES = (
     "dataflow_steps",
     "summary_runs",
@@ -107,6 +132,8 @@ STAT_NAMES = (
     "transfer_cache_hits",
     "transfer_cache_misses",
     "transfer_cache_stale",
+    "mask_hits",
+    "mask_fallbacks",
     "summaries_from_disk",
     "sections_from_disk",
 )
@@ -152,10 +179,12 @@ class _RunContext:
         self.engine = engine
         self.requester = requester
         self.coarse: Set[Tuple[Optional[int], str]] = set()
-        # while a transfer-cache entry is being computed, its coarse
-        # emissions are additionally recorded here so they can be replayed
-        # verbatim on later cache hits
+        # while a call-cache entry is being computed, its coarse emissions
+        # and demanded summary keys are additionally recorded here so both
+        # can be replayed verbatim on later cache hits (the demand replay
+        # keeps dependency-driven invalidation sound across requesters)
         self._record: Optional[Set[Tuple[Optional[int], str]]] = None
+        self._demands: Optional[Set[tuple]] = None
 
     def emit_coarse(self, cls: Optional[int], eff: str) -> None:
         self.coarse.add((cls, eff))
@@ -164,14 +193,78 @@ class _RunContext:
 
     def begin_record(self) -> None:
         self._record = set()
+        self._demands = set()
 
-    def end_record(self) -> FrozenSet[Tuple[Optional[int], str]]:
+    def end_record(self) -> Tuple[FrozenSet[Tuple[Optional[int], str]],
+                                  Tuple[tuple, ...]]:
         recorded = frozenset(self._record or ())
+        demanded = tuple(self._demands or ())
         self._record = None
-        return recorded
+        self._demands = None
+        return recorded, demanded
 
     def get_summary(self, key: tuple) -> SummaryResult:
+        if self._demands is not None:
+            self._demands.add(key)
         return self.engine._demand_summary(key, self.requester)
+
+
+class _GenRecorder:
+    """Minimal ``_RunContext`` stand-in for kernel construction: collects
+    the coarse emissions of a node's constant G set so they can be
+    replayed into the real context on every visit."""
+
+    __slots__ = ("coarse",)
+
+    def __init__(self) -> None:
+        self.coarse: Set[Tuple[Optional[int], str]] = set()
+
+    def emit_coarse(self, cls: Optional[int], eff: str) -> None:
+        self.coarse.add((cls, eff))
+
+
+class _KillKernel:
+    """The kill side of one ``(WriteInfo, scope)`` pair's transfer.
+
+    ``identity_mask`` covers the fact pairs proven to pass through the
+    write unchanged; it starts empty and grows as ``_build_fact_memo``
+    discovers identities, so a warmed-up visit is
+    ``(out & identity_mask) | gen_bits``.  ``memo`` holds the per-term
+    pre-image for everything else (keyed by term ID; one entry serves both
+    effects — see ``Engine._build_fact_memo``).  ``set_memo`` caches the
+    whole non-identity remainder: the kill transfer distributes over
+    union, so its image of a given ``rest`` bitset is a pure function of
+    ``rest`` and a repeat visit with the same remainder is one dict hit
+    instead of a per-pair walk (entries stay valid as ``identity_mask``
+    grows — a shrunken remainder is just a new key).  Kill kernels are
+    shared by every node performing the same write in the same scope —
+    and by a node's ``with_g`` on/off kernel variants — so each
+    (write, term) pre-image is computed once per engine.
+    """
+
+    __slots__ = ("func", "sub", "identity_mask", "memo", "set_memo")
+
+    def __init__(self, func: str, sub: Substituter) -> None:
+        self.func = func
+        self.sub = sub
+        self.identity_mask = 0
+        self.memo: Dict[int, Tuple[int, tuple]] = {}
+        self.set_memo: Dict[int, Tuple[int, tuple]] = {}
+
+
+class _NodeKernel:
+    """One statement node's precomputed transfer: a constant gen side
+    (bitset + coarse emissions, replayed per visit) over a shared
+    :class:`_KillKernel` (``None`` for write-less nodes, whose transfer is
+    pure passthrough-plus-gen)."""
+
+    __slots__ = ("kill", "gen_bits", "gen_coarse")
+
+    def __init__(self, kill: Optional["_KillKernel"], gen_bits: int,
+                 gen_coarse: FrozenSet[Tuple[Optional[int], str]]) -> None:
+        self.kill = kill
+        self.gen_bits = gen_bits
+        self.gen_coarse = gen_coarse
 
 
 class Engine:
@@ -225,37 +318,61 @@ class Engine:
         self._final_dirty: Set[str] = set()
         # per-function write-effect memo (for caller-local terms across calls)
         self._written_classes: Dict[str, Optional[FrozenSet[int]]] = {}
-        # performance caches (see module docstring); both bypassed when
+        # performance caches (see module docstring); all bypassed when
         # enable_caches is False
         self._substituters: Dict[Tuple[WriteInfo, str], Substituter] = {}
-        self._transfer_cache: Dict[tuple, Tuple[int, tuple, FrozenSet]] = {}
+        # call-node whole-set cache:
+        #   (node gid, out bitset, with_g) ->
+        #       (summary generation, result bitset, coarse, demanded keys)
+        self._transfer_cache: Dict[tuple, tuple] = {}
+        # the bitset kernel: the per-run fact-ID space, per-(node, with_g)
+        # gen/kill kernels, and engine-local node ids (``Node.uid`` is only
+        # unique within one function's CFG, so cache/kernel keys use a gid
+        # assigned per node object; the cfgs keep every node alive)
+        self._interner = FactInterner() if enable_caches else None
+        self._kernels: Dict[Tuple[int, bool], _NodeKernel] = {}
+        self._kill_kernels: Dict[Tuple[WriteInfo, str], _KillKernel] = {}
+        self._node_gids: Dict[int, int] = {}
+        self.peak_bits = 0  # max popcount over any converged IN set
         self._backward_ranks: Dict[str, Dict[int, int]] = {}
         self._tracer = get_tracer()
         # solver counters live in a metrics registry; ``stats`` is the
         # dict-shaped view the rest of the code (and the parallel-merge
-        # path) mutates, so every increment lands in the registry
+        # path) mutates, so every increment lands in the registry.  The
+        # kernel increments through ``raw`` (the same backing dict) to
+        # skip MutableMapping dispatch on the per-node path.
         self.metrics = MetricsRegistry()
         self.stats = self.metrics.counter_bundle(
             "engine", STAT_NAMES, help="lock-inference solver counters")
+        self._stats_raw = self.stats.raw
         if enable_caches:
-            # with the transfer cache on, every _transfer call is exactly
-            # one counted miss or one counted stale recompute — double
-            # accounting in _transfer_cached would break this partition
+            # every executed transfer is exactly one counted call-cache
+            # miss, call-cache stale recompute, kernel mask hit, or kernel
+            # fallback — double accounting anywhere breaks this partition
             stats = self.stats
             self.metrics.add_invariant(
-                "transfer-cache-partition",
+                "transfer-partition",
                 lambda _reg: (stats["transfer_cache_misses"]
                               + stats["transfer_cache_stale"]
+                              + stats["mask_hits"]
+                              + stats["mask_fallbacks"]
                               == stats["dataflow_steps"]),
                 lambda _reg: (
                     f"misses {stats['transfer_cache_misses']} + stale "
-                    f"{stats['transfer_cache_stale']} != dataflow_steps "
+                    f"{stats['transfer_cache_stale']} + mask_hits "
+                    f"{stats['mask_hits']} + mask_fallbacks "
+                    f"{stats['mask_fallbacks']} != dataflow_steps "
                     f"{stats['dataflow_steps']}"),
             )
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+
+    @property
+    def fact_terms(self) -> int:
+        """Terms in the run's fact interner (0 on the reference path)."""
+        return len(self._interner) if self._interner is not None else 0
 
     def _poll(self) -> None:
         """One budget/deadline poll: raises ``DeadlineExceeded`` or
@@ -516,6 +633,8 @@ class Engine:
     def _run_region(
         self, func_name: str, section: SectionInfo, ctx: _RunContext
     ) -> TermSet:
+        if self.enable_caches:
+            return self._run_region_bits(func_name, section, ctx)
         region = section.nodes
         rank = self._backward_rank(func_name)
         in_sets: Dict[int, TermSet] = {n.uid: {} for n in region}
@@ -533,7 +652,7 @@ class Engine:
             for succ in node.succs:
                 if succ.uid in in_sets:
                     _join_into(out, in_sets[succ.uid])
-            new_in = self._transfer_cached(func_name, node, out, ctx, True)
+            new_in = self._transfer(func_name, node, out, ctx, with_g=True)
             if new_in != in_sets[node.uid]:
                 in_sets[node.uid] = new_in
                 for pred in node.preds:
@@ -551,6 +670,9 @@ class Engine:
         with_g: bool,
         ctx: _RunContext,
     ) -> TermSet:
+        if self.enable_caches:
+            return self._run_function_bits(func_name, cfg, exit_seed,
+                                           with_g, ctx)
         rank = self._backward_rank(func_name)
         in_sets: Dict[int, TermSet] = {n.uid: {} for n in cfg.nodes}
         in_sets[cfg.exit.uid] = dict(exit_seed)
@@ -569,7 +691,7 @@ class Engine:
             out: TermSet = {}
             for succ in node.succs:
                 _join_into(out, in_sets[succ.uid])
-            new_in = self._transfer_cached(func_name, node, out, ctx, with_g)
+            new_in = self._transfer(func_name, node, out, ctx, with_g=with_g)
             if new_in != in_sets[node.uid]:
                 in_sets[node.uid] = new_in
                 for pred in node.preds:
@@ -579,56 +701,299 @@ class Engine:
                             worklist, (rank[pred.uid], pred.uid, pred))
         return in_sets[cfg.entry.uid]
 
+    # -- bitset variants (enable_caches=True) --------------------------
+
+    def _run_region_bits(
+        self, func_name: str, section: SectionInfo, ctx: _RunContext
+    ) -> TermSet:
+        region = section.nodes
+        rank = self._backward_rank(func_name)
+        in_bits: Dict[int, int] = {n.uid: 0 for n in region}
+        worklist = [(rank[n.uid], n.uid, n) for n in region]
+        heapq.heapify(worklist)
+        queued = {n.uid for n in region}
+        pops = 0
+        while worklist:
+            pops += 1
+            if not pops % DEADLINE_POLL_EVERY:
+                self._poll()
+            _, _, node = heapq.heappop(worklist)
+            queued.discard(node.uid)
+            out = 0
+            for succ in node.succs:
+                out |= in_bits.get(succ.uid, 0)
+            new_in = self._transfer_bits(func_name, node, out, ctx, True)
+            if new_in != in_bits[node.uid]:
+                in_bits[node.uid] = new_in
+                for pred in node.preds:
+                    if pred.uid in in_bits and pred.uid not in queued:
+                        queued.add(pred.uid)
+                        heapq.heappush(
+                            worklist, (rank[pred.uid], pred.uid, pred))
+        self._note_peak(in_bits)
+        return self._interner.decode(in_bits[section.enter.uid])
+
+    def _run_function_bits(
+        self,
+        func_name: str,
+        cfg: CFG,
+        exit_seed: TermSet,
+        with_g: bool,
+        ctx: _RunContext,
+    ) -> TermSet:
+        rank = self._backward_rank(func_name)
+        in_bits: Dict[int, int] = {n.uid: 0 for n in cfg.nodes}
+        in_bits[cfg.exit.uid] = self._interner.encode(exit_seed)
+        worklist = [(rank[n.uid], n.uid, n) for n in cfg.nodes]
+        heapq.heapify(worklist)
+        queued = {n.uid for n in cfg.nodes}
+        exit_uid = cfg.exit.uid
+        pops = 0
+        while worklist:
+            pops += 1
+            if not pops % DEADLINE_POLL_EVERY:
+                self._poll()
+            _, uid, node = heapq.heappop(worklist)
+            queued.discard(uid)
+            if uid == exit_uid:
+                continue
+            out = 0
+            for succ in node.succs:
+                out |= in_bits[succ.uid]
+            new_in = self._transfer_bits(func_name, node, out, ctx, with_g)
+            if new_in != in_bits[uid]:
+                in_bits[uid] = new_in
+                for pred in node.preds:
+                    if pred.uid not in queued:
+                        queued.add(pred.uid)
+                        heapq.heappush(
+                            worklist, (rank[pred.uid], pred.uid, pred))
+        self._note_peak(in_bits)
+        return self._interner.decode(in_bits[cfg.entry.uid])
+
+    def _note_peak(self, in_bits: Dict[int, int]) -> None:
+        """Fold one converged run's IN sets into ``peak_bits`` (profile)."""
+        peak = self.peak_bits
+        for bits in in_bits.values():
+            if bits:
+                n = popcount(bits)
+                if n > peak:
+                    peak = n
+        self.peak_bits = peak
+
     # ------------------------------------------------------------------
     # transfer functions
     # ------------------------------------------------------------------
 
-    def _transfer_cached(
+    def _transfer_bits(
         self,
         func_name: str,
         node: Node,
-        out: TermSet,
+        out_bits: int,
         ctx: _RunContext,
         with_g: bool,
-    ) -> TermSet:
-        """Memoizing wrapper around :meth:`_transfer`.
+    ) -> int:
+        """One bitset transfer: gen/kill kernel for statement nodes, the
+        whole-set cache (with summary-generation staleness and dependency
+        replay) for call nodes.
 
-        A transfer's output (including its coarse emissions) is a pure
-        function of the node and its OUT set — except at call nodes, whose
-        output also reads the summary table.  Entries record the summary
-        generation they were computed at: statement-node entries never go
-        stale (stored generation ``-1``), call-node entries are recomputed
-        in place when the generation moved.  A forced recomputation counts
-        as ``transfer_cache_stale``, *not* as a miss — the entry could not
-        possibly have hit, so folding it into the misses would understate
-        the hit rate on the lookups the cache can actually serve (the
-        accounting bug this distinction fixes).
+        A stale recomputation counts as ``transfer_cache_stale``, *not* as
+        a miss — the entry could not possibly have hit, so folding it into
+        the misses would understate the hit rate on the lookups the cache
+        can actually serve.
         """
-        if not self.enable_caches:
-            return self._transfer(func_name, node, out, ctx, with_g=with_g)
-        is_call = (
-            node.kind == "instr"
-            and isinstance(node.instr, ir.IAssign)
-            and isinstance(node.instr.rhs, ir.RCall)
-        )
-        key = (ctx.requester, node.uid, frozenset(out.items()), with_g)
+        if (node.kind == "instr"
+                and isinstance(node.instr, ir.IAssign)
+                and isinstance(node.instr.rhs, ir.RCall)):
+            return self._transfer_bits_call(func_name, node, out_bits,
+                                            ctx, with_g)
+        gids = self._node_gids
+        gid = gids.get(id(node))
+        if gid is None:
+            gid = gids[id(node)] = len(gids)
+        kern = self._kernels.get((gid, with_g))
+        if kern is None:
+            kern = self._build_kernel(func_name, node, with_g)
+            self._kernels[(gid, with_g)] = kern
+        return self._kernel_transfer(kern, out_bits, ctx)
+
+    def _transfer_bits_call(
+        self,
+        func_name: str,
+        node: Node,
+        out_bits: int,
+        ctx: _RunContext,
+        with_g: bool,
+    ) -> int:
+        gids = self._node_gids
+        gid = gids.get(id(node))
+        if gid is None:
+            gid = gids[id(node)] = len(gids)
+        key = (gid, out_bits, with_g)
         entry = self._transfer_cache.get(key)
+        raw = self._stats_raw
         if entry is not None:
-            version, result_items, coarse = entry
-            if version == -1 or version == self._version:
-                self.stats["transfer_cache_hits"] += 1
+            version, bits, coarse, demanded = entry
+            if version == self._version:
+                raw["transfer_cache_hits"] += 1
                 if coarse:
                     ctx.coarse |= coarse
-                return dict(result_items)
-            self.stats["transfer_cache_stale"] += 1
+                # replay the entry's summary demands for *this* requester,
+                # exactly as _demand_summary would have registered them
+                if demanded:
+                    deps = self._deps
+                    requester = ctx.requester
+                    for skey in demanded:
+                        deps.setdefault(skey, set()).add(requester)
+                return bits
+            raw["transfer_cache_stale"] += 1
         else:
-            self.stats["transfer_cache_misses"] += 1
+            raw["transfer_cache_misses"] += 1
+        interner = self._interner
         ctx.begin_record()
-        result = self._transfer(func_name, node, out, ctx, with_g=with_g)
-        coarse = ctx.end_record()
-        self._transfer_cache[key] = (
-            self._version if is_call else -1, tuple(result.items()), coarse)
-        return result
+        result = self._transfer(func_name, node, interner.decode(out_bits),
+                                ctx, with_g=with_g)
+        coarse, demanded = ctx.end_record()
+        bits = interner.encode(result)
+        self._transfer_cache[key] = (self._version, bits, coarse, demanded)
+        return bits
+
+    def _build_kernel(self, func_name: str, node: Node,
+                      with_g: bool) -> "_NodeKernel":
+        """Precompute a statement node's gen/kill kernel.
+
+        The node's G set is constant, so its admitted terms become a fixed
+        gen bitset and its widened classes a fixed coarse set, both built
+        once here (through the very same ``_gen_*``/``_admit`` helpers the
+        reference path runs) and replayed per visit.  The kill side is the
+        node's :class:`WriteInfo` (``None`` for write-less nodes, whose
+        transfer is pure passthrough-plus-gen).
+        """
+        write: Optional[WriteInfo] = None
+        gens: TermSet = {}
+        rec = _GenRecorder()
+        if node.kind == "branch":
+            if with_g:
+                for atom in (node.cond.left, node.cond.right):
+                    self._gen_var_read(func_name, atom, gens, rec)
+        elif node.kind == "instr":
+            instr = node.instr
+            if isinstance(instr, ir.IAssign):
+                write = write_for_assign(func_name, instr)
+                if with_g:
+                    self._gen_assign(func_name, instr, gens, rec)
+            elif isinstance(instr, ir.IStore):
+                write = write_for_store(func_name, instr)
+                if with_g:
+                    self._admit(func_name, TStar(TVar(instr.addr)), RW,
+                                gens, rec)
+                    self._gen_var_read(func_name, ir.VarAtom(instr.addr),
+                                       gens, rec)
+                    self._gen_var_read(func_name, instr.value, gens, rec)
+            elif isinstance(instr, ir.IReturn):
+                write = write_for_return(func_name, instr)
+                if write is not None and with_g:
+                    self._gen_var_read(func_name, instr.value, gens, rec)
+        kill = None
+        if write is not None:
+            kill = self._kill_kernels.get((write, func_name))
+            if kill is None:
+                kill = _KillKernel(func_name,
+                                   self._substituter(write, func_name))
+                self._kill_kernels[(write, func_name)] = kill
+        return _NodeKernel(kill, self._interner.encode(gens),
+                           frozenset(rec.coarse))
+
+    def _kernel_transfer(self, kern: "_NodeKernel", out_bits: int,
+                         ctx: _RunContext) -> int:
+        raw = self._stats_raw
+        raw["dataflow_steps"] += 1
+        if kern.gen_coarse:
+            ctx.coarse |= kern.gen_coarse
+        gen = kern.gen_bits
+        kill = kern.kill
+        if kill is None:
+            # write-less node: every fact passes through untouched
+            raw["mask_hits"] += 1
+            return out_bits | gen
+        result = (out_bits & kill.identity_mask) | gen
+        rest = out_bits & ~kill.identity_mask
+        if not rest:
+            raw["mask_hits"] += 1
+            return result
+        cached = kill.set_memo.get(rest)
+        if cached is not None:
+            raw["mask_hits"] += 1
+            if cached[1]:
+                ctx.coarse.update(cached[1])
+            return result | cached[0]
+        memo = kill.memo
+        key = rest
+        image = 0
+        pairs: list = []
+        fresh = False
+        while rest:
+            low = rest & -rest
+            # canonical bitsets always carry the even (presence) bit of a
+            # pair, so the lowest set bit identifies the term directly
+            tid = (low.bit_length() - 1) >> 1
+            high = low << 1
+            is_rw = bool(rest & high)
+            rest &= ~(low | high)
+            entry = memo.get(tid)
+            if entry is None:
+                fresh = True
+                entry = self._build_fact_memo(kill, tid)
+            ro_bits, classes = entry
+            if is_rw:
+                image |= ro_bits | (ro_bits << 1)
+                for cls in classes:
+                    pairs.append((cls, RW))
+            else:
+                image |= ro_bits
+                for cls in classes:
+                    pairs.append((cls, RO))
+        kill.set_memo[key] = (image, tuple(pairs))
+        if pairs:
+            ctx.coarse.update(pairs)
+        if fresh:
+            raw["mask_fallbacks"] += 1
+        else:
+            raw["mask_hits"] += 1
+        return result | image
+
+    def _build_fact_memo(self, kill: "_KillKernel",
+                         tid: int) -> Tuple[int, tuple]:
+        """Memoize one term's pre-image under *kill*'s write.
+
+        Statement transfers are effect-linear (``_apply_write`` threads the
+        fact's effect through ``_admit`` unchanged), so one memo entry —
+        the admitted pre-terms as an RO bitset plus the widened classes —
+        serves both effects: an RW source fact ORs in the doubled bits and
+        emits the classes at RW.  A term whose pre-image is exactly itself
+        (no widening) is promoted into the kernel's identity mask, making
+        every later visit carrying it two integer ops.
+        """
+        interner = self._interner
+        term = interner.term(tid)
+        func_name = kill.func
+        k = self.k
+        is_global = self._is_global
+        ro_bits = 0
+        classes = set()
+        for pre in kill.sub.pre_terms(term):
+            # inlined _admit, recording instead of mutating a result dict
+            if isinstance(pre, TVar) and not is_global(func_name, pre.name):
+                continue
+            if term_size(pre) > k or term_has_unknown(pre):
+                classes.add(self.oracle.class_of_term(func_name, pre))
+            else:
+                ro_bits |= interner.term_bit(pre)
+        entry = (ro_bits, tuple(classes))
+        kill.memo[tid] = entry
+        if not classes and ro_bits == 1 << (tid << 1):
+            kill.identity_mask |= ro_bits | (ro_bits << 1)
+        return entry
 
     def _transfer(
         self,
@@ -681,25 +1046,12 @@ class Engine:
         ctx: _RunContext,
         with_g: bool,
     ) -> TermSet:
-        value = instr.value
-        if isinstance(value, ir.VarAtom):
-            ptr_content: Optional[Term] = TStar(TVar(value.name))
-            int_content = IVar(value.name)
-        elif isinstance(value, ir.ConstAtom):
-            ptr_content, int_content = None, atom_to_index(value)
-        else:
-            ptr_content, int_content = None, None
-        write = WriteInfo(
-            definite=TStar(TVar(instr.addr)),
-            func=func_name,
-            ptr_content=ptr_content,
-            int_content=int_content,
-        )
+        write = write_for_store(func_name, instr)
         result = self._apply_write(func_name, write, out, ctx)
         if with_g:
             self._admit(func_name, TStar(TVar(instr.addr)), RW, result, ctx)
             self._gen_var_read(func_name, ir.VarAtom(instr.addr), result, ctx)
-            self._gen_var_read(func_name, value, result, ctx)
+            self._gen_var_read(func_name, instr.value, result, ctx)
         return result
 
     def _transfer_return(
@@ -710,21 +1062,9 @@ class Engine:
         ctx: _RunContext,
         with_g: bool,
     ) -> TermSet:
-        if instr.value is None:
+        write = write_for_return(func_name, instr)
+        if write is None:  # bare return: nothing written
             return dict(out)
-        # return v  ==  ret$f = v  (paper §3.1)
-        if isinstance(instr.value, ir.VarAtom):
-            ptr_content: Optional[Term] = TStar(TVar(instr.value.name))
-        else:
-            ptr_content = None
-        write = WriteInfo(
-            definite=TVar(ast.return_var(func_name)),
-            func=func_name,
-            ptr_content=ptr_content,
-            int_content=atom_to_index(instr.value)
-            if not isinstance(instr.value, ir.NullAtom)
-            else None,
-        )
         result = self._apply_write(func_name, write, out, ctx)
         if with_g:
             self._gen_var_read(func_name, instr.value, result, ctx)

@@ -49,12 +49,19 @@ _FORKED_ENGINE: Optional[Engine] = None
 # the solve itself and the parent runs the level serially.
 MIN_PARALLEL_WEIGHT = 400
 
+# Worker counters folded back into the parent after each chunk.  The
+# boundary this crosses is ID-free by construction: chunk payloads and
+# result entries carry ``SummaryResult``s over hash-consed terms, never
+# fact-interner IDs (those are process-local — each worker's engine grows
+# its own interner), so no remap step is needed on merge.
 _MERGED_STATS = (
     "dataflow_steps",
     "summary_runs",
     "transfer_cache_hits",
     "transfer_cache_misses",
     "transfer_cache_stale",
+    "mask_hits",
+    "mask_fallbacks",
     "summaries_from_disk",
 )
 

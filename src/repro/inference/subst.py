@@ -122,6 +122,27 @@ def write_for_store(func: str, instr: ir.IStore) -> WriteInfo:
     )
 
 
+def write_for_return(func: str, instr: ir.IReturn) -> Optional[WriteInfo]:
+    """``return v`` writes the pseudo-cell ``ret$f = v`` (paper §3.1).
+
+    Returns ``None`` for a bare ``return`` — nothing is written.
+    """
+    if instr.value is None:
+        return None
+    if isinstance(instr.value, ir.VarAtom):
+        ptr_content: Optional[Term] = TStar(TVar(instr.value.name))
+    else:
+        ptr_content = None
+    return WriteInfo(
+        definite=TVar(ast.return_var(func)),
+        func=func,
+        ptr_content=ptr_content,
+        int_content=atom_to_index(instr.value)
+        if not isinstance(instr.value, ir.NullAtom)
+        else None,
+    )
+
+
 def write_for_return_binding(ret_var: str) -> "ir.IAssign":
     """The paper's ``x = ret_f`` pseudo-assignment used at call transfer."""
     return ir.IAssign("$unused", ir.RVar(ret_var))

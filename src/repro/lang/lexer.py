@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Iterator, List
 
@@ -45,63 +46,67 @@ class Token:
         return f"Token({self.kind}, {self.text!r}, line={self.line})"
 
 
+# One compiled master pattern drives the tokenizer: Python-level
+# char-by-char scanning dominated cold-run front-end time, and a single
+# alternation evaluated in C reproduces the same token stream.  Alternative
+# order matters: ``//`` and ``/*`` must win over the ``/`` operator, digits
+# must win over identifier tails (so ``123abc`` still lexes as INT then
+# IDENT), and two-char operators must win over their one-char prefixes.
+# ``bcopen`` only matches when the closing ``*/`` is missing (the ``bc``
+# branch failed), turning an unterminated comment into a LexError instead
+# of silently lexing ``/`` and ``*`` operators.
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>[ \t\r]+)
+    | (?P<nl>\n)
+    | (?P<lc>//[^\n]*)
+    | (?P<bc>/\*.*?\*/)
+    | (?P<bcopen>/\*)
+    | (?P<int>[0-9]+)
+    | (?P<ident>[\w$]+)
+    | (?P<op2>==|!=|<=|>=|&&|\|\||->)
+    | (?P<op1>[+\-*/%<>=!&(){}\[\];,.])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
 def tokenize(source: str) -> List[Token]:
     """Split *source* into a token list ending with an ``eof`` token."""
     tokens: List[Token] = []
+    append = tokens.append
+    match = _TOKEN_RE.match
     i, n, line = 0, len(source), 1
     line_start = 0  # index just past the most recent newline
-
-    def col(at: int) -> int:
-        return at - line_start + 1
-
     while i < n:
-        ch = source[i]
-        if ch == "\n":
+        m = match(source, i)
+        if m is None:
+            raise LexError(f"unexpected character {source[i]!r}",
+                           line, i - line_start + 1)
+        kind = m.lastgroup
+        j = m.end()
+        if kind == "ident":
+            text = m.group()
+            append(Token("kw" if text in KEYWORDS else "ident",
+                         text, line, i - line_start + 1))
+        elif kind == "op1" or kind == "op2":
+            append(Token("op", m.group(), line, i - line_start + 1))
+        elif kind == "int":
+            append(Token("int", m.group(), line, i - line_start + 1))
+        elif kind == "nl":
             line += 1
-            i += 1
-            line_start = i
-            continue
-        if ch in " \t\r":
-            i += 1
-            continue
-        if ch == "/" and i + 1 < n and source[i + 1] == "/":
-            while i < n and source[i] != "\n":
-                i += 1
-            continue
-        if ch == "/" and i + 1 < n and source[i + 1] == "*":
-            end = source.find("*/", i + 2)
-            if end < 0:
-                raise LexError("unterminated block comment", line, col(i))
-            line += source.count("\n", i, end)
-            i = end + 2
-            line_start = source.rfind("\n", 0, i) + 1
-            continue
-        if ch.isdigit():
-            j = i
-            while j < n and source[j].isdigit():
-                j += 1
-            tokens.append(Token("int", source[i:j], line, col(i)))
-            i = j
-            continue
-        if ch.isalpha() or ch == "_" or ch == "$":
-            j = i
-            while j < n and (source[j].isalnum() or source[j] in "_$"):
-                j += 1
-            text = source[i:j]
-            kind = "kw" if text in KEYWORDS else "ident"
-            tokens.append(Token(kind, text, line, col(i)))
-            i = j
-            continue
-        if source[i : i + 2] in TWO_CHAR_OPS:
-            tokens.append(Token("op", source[i : i + 2], line, col(i)))
-            i += 2
-            continue
-        if ch in ONE_CHAR_OPS:
-            tokens.append(Token("op", ch, line, col(i)))
-            i += 1
-            continue
-        raise LexError(f"unexpected character {ch!r}", line, col(i))
-    tokens.append(Token("eof", "", line, col(i)))
+            line_start = j
+        elif kind == "bc":
+            newlines = source.count("\n", i, j)
+            if newlines:
+                line += newlines
+                line_start = source.rfind("\n", i, j) + 1
+        elif kind == "bcopen":
+            raise LexError("unterminated block comment",
+                           line, i - line_start + 1)
+        # "ws" and "lc" produce no token
+        i = j
+    append(Token("eof", "", line, i - line_start + 1))
     return tokens
 
 

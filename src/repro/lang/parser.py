@@ -43,7 +43,11 @@ class Parser:
     # -- token helpers ------------------------------------------------------
 
     def peek(self, offset: int = 0) -> Token:
-        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+        # ``pos`` can never pass the trailing eof token (advance stops
+        # there), so only explicit lookahead needs the end clamp
+        if offset:
+            return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+        return self.tokens[self.pos]
 
     def advance(self) -> Token:
         tok = self.tokens[self.pos]
@@ -52,11 +56,13 @@ class Parser:
         return tok
 
     def check(self, text: str) -> bool:
-        return self.peek().text == text and self.peek().kind in ("op", "kw")
+        tok = self.tokens[self.pos]
+        return tok.text == text and tok.kind in ("op", "kw")
 
     def accept(self, text: str) -> bool:
-        if self.check(text):
-            self.advance()
+        tok = self.tokens[self.pos]
+        if tok.text == text and tok.kind in ("op", "kw"):
+            self.pos += 1
             return True
         return False
 

@@ -19,6 +19,13 @@ slots), and the k-limiting measures — ``size``, ``has_unknown``,
 subterms are already interned and carry their own caches) instead of by
 recursive traversal on every :func:`term_size` query in the dataflow's
 inner loop.
+
+The identity-speed hash/eq property is load-bearing downstream: the
+dense fact interner (:mod:`repro.inference.facts`) and the per-function
+alias-class caches (:mod:`repro.pointer.aliasing`) key dicts directly by
+term instances on the dataflow hot path, which is only O(1)-cheap
+because hash-consing has already collapsed structural equality into
+object identity.
 """
 
 from __future__ import annotations

@@ -9,8 +9,9 @@ snapshot is taken.  Scalar counters for a component are grouped into a
 :class:`CounterBundle`, a ``MutableMapping`` view the inference engine uses
 as its ``stats`` dict.
 
-Invariants over the collected values (e.g. the transfer-cache partition
-``misses + stale == dataflow_steps``) are registered on the registry and
+Invariants over the collected values (e.g. the transfer partition
+``misses + stale + mask_hits + mask_fallbacks == dataflow_steps``) are
+registered on the registry and
 checked at collection points; violations raise :class:`InvariantError` under
 ``__debug__`` and are reported as strings under ``python -O``.
 """
@@ -259,6 +260,18 @@ class CounterBundle(MutableMapping):
 
     def __len__(self):
         return len(self._names)
+
+    @property
+    def raw(self):
+        """The backing name-keyed dict, for hot-loop increments.
+
+        The registry reads the same dict at snapshot time, so
+        ``bundle.raw[name] += 1`` is observationally identical to
+        ``bundle[name] += 1`` minus the ``MutableMapping`` dispatch —
+        the inference engine's bitset kernel uses this on the per-node
+        path.  Callers must only touch names registered in the bundle.
+        """
+        return self._values
 
     def __repr__(self):
         return f"CounterBundle({dict(self)!r})"

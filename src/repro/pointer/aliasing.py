@@ -31,12 +31,17 @@ class AliasOracle:
     def __init__(self, pointsto: PointsTo) -> None:
         self.pointsto = pointsto
         self._cache: Dict[Tuple[str, Term], ECR] = {}
-        self._class_cache: Dict[Tuple[str, Term], int] = {}
+        # class_of_term is the hottest query, so its memo avoids building
+        # a (func, term) tuple per lookup: one dict per function scope,
+        # keyed by the hash-consed term (identity-speed hash/eq)
+        self._class_cache: Dict[str, Dict[Term, int]] = {}
         self._alias_cache: Dict[Tuple[str, Term, str, Term], bool] = {}
+        self.stats: Dict[str, int] = {"class_hits": 0, "class_misses": 0}
 
     def invalidate(self) -> None:
         """Drop all memoized answers (call after mutating the points-to
-        solution, e.g. re-running unification on an extended program)."""
+        solution, e.g. re-running unification on an extended program).
+        The hit/miss counters are monotone activity counters and survive."""
         self._cache.clear()
         self._class_cache.clear()
         self._alias_cache.clear()
@@ -64,11 +69,16 @@ class AliasOracle:
         return ecr
 
     def class_of_term(self, func_name: str, term: Term) -> int:
-        key = (func_name, term)
-        cached = self._class_cache.get(key)
+        per_func = self._class_cache.get(func_name)
+        if per_func is None:
+            per_func = self._class_cache[func_name] = {}
+        cached = per_func.get(term)
         if cached is None:
+            self.stats["class_misses"] += 1
             cached = self.pointsto.class_id(self.term_ecr(func_name, term))
-            self._class_cache[key] = cached
+            per_func[term] = cached
+        else:
+            self.stats["class_hits"] += 1
         return cached
 
     def may_alias_terms(self, func_a: str, a: Term, func_b: str, b: Term) -> bool:

@@ -1,12 +1,13 @@
 """Golden equivalence: the optimized engine must match the naive engine.
 
-The performance layer (term interning, substituter memoization, per-node
-transfer caching, dependency-driven section convergence) is required to be
+The performance layer (term interning, the bitset dataflow kernel with its
+gen/kill masks, substituter memoization, call-node transfer caching,
+dependency-driven section convergence) is required to be
 *result-preserving*: for every benchmark program and every configuration
 (k ∈ {0, 1, 3, 9}, effects on/off) the optimized engine must produce lock
 sets identical — down to the rendered text — to the reference engine with
 ``enable_caches=False`` (the seed's restart-until-globally-stable loop and
-uncached transfer functions).
+uncached, set-based transfer functions).
 
 Both engines share one parse/lower/points-to front half per program so
 points-to class ids are comparable across runs.
@@ -70,8 +71,17 @@ def test_reference_engine_reports_no_cache_activity():
             engine.analyze_section(func_name, section)
     assert engine.stats["transfer_cache_hits"] == 0
     assert engine.stats["transfer_cache_misses"] == 0
+    assert engine.stats["mask_hits"] == 0
+    assert engine.stats["mask_fallbacks"] == 0
+    # the reference path must stay pure: no substituter reuse, no call
+    # cache, no kernels, and no fact interner (bitsets never touched)
     assert not engine._substituters
     assert not engine._transfer_cache
+    assert not engine._kernels
+    assert not engine._kill_kernels
+    assert engine._interner is None
+    assert engine.fact_terms == 0
+    assert engine.peak_bits == 0
 
 
 def test_optimized_engine_actually_caches():
@@ -83,5 +93,10 @@ def test_optimized_engine_actually_caches():
     for func_name, cfg in cfgs.items():
         for section in cfg.sections.values():
             engine.analyze_section(func_name, section)
-    assert engine.stats["transfer_cache_hits"] > 0
-    assert engine.stats["transfer_cache_misses"] > 0
+    # statement transfers run on the bitset kernel: repeat visits must be
+    # served by the identity-mask/memo fast path, not per-fact fallbacks
+    assert engine.stats["mask_hits"] > 0
+    assert engine.stats["mask_fallbacks"] > 0
+    assert engine.stats["transfer_cache_misses"] > 0  # call nodes cache
+    assert engine.fact_terms > 0
+    assert engine.peak_bits > 0

@@ -224,11 +224,14 @@ def test_transfer_counters_partition_steps(name):
         for section in cfg.sections.values():
             engine.analyze_section(func_name, section)
     stats = engine.stats
-    # every transfer execution is a miss or a stale recompute; hits never
-    # execute — the three counters partition the lookups exactly
-    assert stats["transfer_cache_misses"] + stats["transfer_cache_stale"] \
-        == stats["dataflow_steps"]
-    assert stats["transfer_cache_hits"] > 0
+    # every transfer execution is exactly one call-cache miss, call-cache
+    # stale recompute, kernel mask hit, or kernel fallback; call-cache
+    # hits never execute — the counters partition the steps exactly
+    assert (stats["transfer_cache_misses"] + stats["transfer_cache_stale"]
+            + stats["mask_hits"] + stats["mask_fallbacks"]
+            == stats["dataflow_steps"])
+    # the kernel's fast path must actually serve repeat visits
+    assert stats["mask_hits"] > 0
     # the old accounting bug: every step counted as a miss
     assert stats["transfer_cache_misses"] < stats["dataflow_steps"]
 
@@ -244,7 +247,7 @@ def test_reference_engine_still_counts_raw_steps():
             engine.analyze_section(func_name, section)
     assert engine.stats["dataflow_steps"] > 0
     for counter in ("transfer_cache_hits", "transfer_cache_misses",
-                    "transfer_cache_stale"):
+                    "transfer_cache_stale", "mask_hits", "mask_fallbacks"):
         assert engine.stats[counter] == 0
 
 
